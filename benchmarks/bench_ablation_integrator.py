@@ -1,0 +1,90 @@
+"""Ablation: the adaptive ROS2 choice versus fixed-step θ-baselines.
+
+The original developers paid for adaptivity ("the adaptive time step in
+the time integrator ... must be computed again and again") and for the
+Rosenbrock structure.  This bench quantifies the payoff on a real grid:
+solve counts and wall time at comparable temporal accuracy, against
+Crank–Nicolson and implicit Euler.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.harness import render_table
+from repro.sparsegrid import Grid, rotating_cone_problem, subsolve
+
+GRID = Grid(2, 3, 3)
+TOL = 1.0e-4
+
+
+@pytest.fixture(scope="module")
+def reference_solution():
+    problem = rotating_cone_problem(t_end=0.5)
+    return subsolve(problem, GRID, tol=1.0e-8, t_end=0.5).solution
+
+
+def run_with(integrator_name: str):
+    problem = rotating_cone_problem(t_end=0.5)
+    return subsolve(
+        problem, GRID, tol=TOL, t_end=0.5, integrator_name=integrator_name
+    )
+
+
+@pytest.mark.benchmark(group="integrator")
+def test_integrator_ros2(benchmark, reference_solution):
+    result = benchmark.pedantic(lambda: run_with("ros2"), rounds=3, iterations=1)
+    err = float(np.max(np.abs(result.solution - reference_solution)))
+    assert err < 5.0e-3
+
+
+@pytest.mark.benchmark(group="integrator")
+def test_integrator_crank_nicolson(benchmark, reference_solution):
+    result = benchmark.pedantic(
+        lambda: run_with("crank-nicolson"), rounds=3, iterations=1
+    )
+    err = float(np.max(np.abs(result.solution - reference_solution)))
+    assert err < 5.0e-3
+
+
+@pytest.mark.benchmark(group="integrator")
+def test_integrator_implicit_euler(benchmark, reference_solution):
+    result = benchmark.pedantic(
+        lambda: run_with("implicit-euler"), rounds=2, iterations=1
+    )
+    err = float(np.max(np.abs(result.solution - reference_solution)))
+    assert err < 5.0e-2  # first order: an order looser
+
+
+@pytest.mark.benchmark(group="integrator")
+def test_integrator_comparison_table(benchmark, reference_solution):
+    """Print the comparison and assert the paper-motivating ordering."""
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    rows = []
+    results = {}
+    for name in ("ros2", "crank-nicolson", "implicit-euler"):
+        result = run_with(name)
+        err = float(np.max(np.abs(result.solution - reference_solution)))
+        results[name] = result
+        rows.append([
+            name,
+            result.stats.steps_accepted,
+            result.stats.solves,
+            result.stats.factorizations,
+            f"{err:.2e}",
+            f"{result.wall_seconds:.3f}",
+        ])
+    print()
+    print(render_table(
+        ["integrator", "steps", "solves", "factorizations", "error", "wall (s)"],
+        rows, title=f"Integrator ablation on {GRID}, tol {TOL:g}",
+    ))
+    # the first-order baseline needs far more solves than ROS2
+    assert (
+        results["implicit-euler"].stats.solves
+        > 3 * results["ros2"].stats.solves
+    )
+    # adaptivity costs refactorizations; the fixed-step methods need one
+    assert results["crank-nicolson"].stats.factorizations == 1
+    assert results["ros2"].stats.factorizations >= 2

@@ -1,0 +1,181 @@
+"""E9 — overhead decomposition and design-choice ablations.
+
+§7 names three overhead categories (multi-user environment, the
+concurrency itself, the coordination layer).  This bench quantifies
+each on the simulated testbed, then ablates the design choices called
+out in DESIGN.md:
+
+* **dedicated machines** (noise off) — the paper could not get these;
+* **homogeneous cluster** — "unfortunately ... not available";
+* **no perpetual tasks** — every worker forks a fresh task instance;
+* **one pool per diagonal** — the barrier-heavy master organization;
+* **I/O workers** — the §4.1 alternative the authors "have not tried
+  out": the master stops passing all data itself;
+* **all workers in one task instance** — the ``{load 6}`` shared-memory
+  configuration on a single machine.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cluster import MultiUserNoise, SimulationParams, paper_cluster, uniform_cluster
+from repro.cluster.simulator import simulate_distributed
+from repro.harness import Table1Experiment, render_table
+from repro.perf import decompose_run
+
+LEVEL, TOL = 15, 1.0e-3
+
+
+def run_once(cost_model, params, cluster=None, pools=None, seed=9):
+    costs = cost_model.level_costs(LEVEL, TOL)
+    pools = pools if pools is not None else [costs]
+    return simulate_distributed(
+        pools,
+        cluster if cluster is not None else paper_cluster(),
+        params,
+        np.random.default_rng(seed),
+        master_prolongation_ref_seconds=cost_model.prolongation_seconds(LEVEL),
+    )
+
+
+@pytest.mark.benchmark(group="ablation")
+def test_overhead_decomposition(benchmark, cost_model):
+    """The three §7 categories, itemized, at a gain-regime level."""
+    noisy = SimulationParams()
+    quiet = SimulationParams(noise=MultiUserNoise.quiet())
+
+    def decompose():
+        run = run_once(cost_model, noisy)
+        twin = run_once(cost_model, quiet)
+        return decompose_run(run, twin)
+
+    report = benchmark.pedantic(decompose, rounds=3, iterations=1)
+    print()
+    print(
+        render_table(
+            ["category", "seconds", "fraction"],
+            [
+                ["useful (critical work + master)", report.useful_seconds,
+                 report.useful_seconds / report.elapsed_seconds],
+                ["concurrency overhead", report.concurrency_seconds,
+                 report.concurrency_seconds / report.elapsed_seconds],
+                ["coordination layer", report.coordination_seconds,
+                 report.coordination_seconds / report.elapsed_seconds],
+                ["multi-user effects", report.multiuser_seconds,
+                 report.multiuser_seconds / report.elapsed_seconds],
+            ],
+            title=f"Overhead decomposition, level {LEVEL}, tol {TOL:g}",
+        )
+    )
+    # §7: multi-user effects are "minimal in comparison with the other
+    # overhead"
+    assert report.multiuser_seconds < report.concurrency_seconds
+    assert report.multiuser_seconds < report.coordination_seconds
+    # even in the gain regime the overheads stay substantial — the
+    # paper's su(15)=7.8 with 31 workers says the same (useful fraction
+    # ~0.3); ours must land in that neighbourhood, dominated by the
+    # concurrency category rather than the coordination layer
+    useful_fraction = report.useful_seconds / report.elapsed_seconds
+    assert 0.2 < useful_fraction < 0.8, useful_fraction
+    assert report.concurrency_seconds > report.coordination_seconds
+
+
+@pytest.mark.benchmark(group="ablation")
+def test_ablation_matrix(benchmark, cost_model):
+    """Elapsed time under each single-choice ablation."""
+    quiet = MultiUserNoise.quiet()
+    configs = {
+        "paper configuration": dict(params=SimulationParams()),
+        "dedicated machines": dict(params=SimulationParams(noise=quiet)),
+        "homogeneous 32x1200": dict(
+            params=SimulationParams(), cluster=uniform_cluster(32)
+        ),
+        "no perpetual tasks": dict(
+            params=SimulationParams(perpetual=False)
+        ),
+        "I/O workers (§4.1)": dict(
+            params=SimulationParams(io_workers=True)
+        ),
+        "no initial-data shipping": dict(
+            params=SimulationParams(ship_initial_data=False)
+        ),
+    }
+
+    def sweep():
+        out = {}
+        for name, cfg in configs.items():
+            run = run_once(cost_model, cfg["params"], cluster=cfg.get("cluster"))
+            out[name] = run
+        return out
+
+    runs = benchmark.pedantic(sweep, rounds=2, iterations=1)
+    rows = [
+        [name, run.elapsed_seconds, run.n_tasks_forked,
+         max(w.compute_seconds for w in run.workers)]
+        for name, run in runs.items()
+    ]
+    print()
+    print(render_table(
+        ["configuration", "ct (s)", "tasks forked", "max worker (s)"],
+        rows, title=f"Ablations at level {LEVEL}, tol {TOL:g}",
+    ))
+
+    base = runs["paper configuration"].elapsed_seconds
+    # dedicated machines can only help (same seed, noise removed)
+    assert runs["dedicated machines"].elapsed_seconds <= base * 1.02
+    # the §4.1 I/O-worker alternative does NOT pay at this scale: the
+    # extra per-worker coordination eats the NIC relief — which is
+    # consistent with the authors' decision not to try it ("we were
+    # already content with the achieved results")
+    io_delta = abs(runs["I/O workers (§4.1)"].elapsed_seconds - base)
+    assert io_delta < 0.1 * base, io_delta
+    # not shipping the initial grid data does help the creation ramp
+    assert runs["no initial-data shipping"].elapsed_seconds < base
+    # forgoing perpetual reuse forks one task per worker and costs time
+    assert runs["no perpetual tasks"].n_tasks_forked == 2 * LEVEL + 1
+    assert runs["no perpetual tasks"].elapsed_seconds > base
+
+
+@pytest.mark.benchmark(group="ablation")
+def test_ablation_pool_per_diagonal(benchmark, cost_model):
+    """The two-pool master: a rendezvous barrier between the diagonals
+    costs elapsed time against the single-pool organization."""
+    single = Table1Experiment(cost_model, runs=3, seed=12)
+    double = Table1Experiment(cost_model, runs=3, seed=12, pool_per_diagonal=True)
+
+    row_single = benchmark.pedantic(
+        lambda: single.run_level(LEVEL, TOL), rounds=2, iterations=1
+    )
+    row_double = double.run_level(LEVEL, TOL)
+    print(
+        f"\nsingle pool ct={row_single.ct:.1f}s su={row_single.su:.1f} | "
+        f"pool per diagonal ct={row_double.ct:.1f}s su={row_double.su:.1f}"
+    )
+    assert row_double.ct > row_single.ct
+    assert row_double.su < row_single.su
+
+
+@pytest.mark.benchmark(group="ablation")
+def test_ablation_shared_task_instance(benchmark, cost_model):
+    """``{load 6}``-style bundling: all workers in one task instance on
+    one (single-processor) machine loses all parallel gain — the
+    configuration only pays off on a multi-processor host, which the
+    simulated cluster does not have."""
+    quiet = SimulationParams(noise=MultiUserNoise.quiet())
+    bundled = SimulationParams(
+        noise=MultiUserNoise.quiet(), workers_per_task=2 * LEVEL + 1
+    )
+
+    distributed = benchmark.pedantic(
+        lambda: run_once(cost_model, quiet), rounds=2, iterations=1
+    )
+    one_task = run_once(cost_model, bundled)
+    print(
+        f"\ndistributed ct={distributed.elapsed_seconds:.1f}s "
+        f"(tasks={distributed.n_tasks_forked}) | one task instance "
+        f"ct={one_task.elapsed_seconds:.1f}s (tasks={one_task.n_tasks_forked})"
+    )
+    assert one_task.n_tasks_forked == 1
+    assert distributed.elapsed_seconds < one_task.elapsed_seconds

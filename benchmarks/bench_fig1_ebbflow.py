@@ -1,0 +1,76 @@
+"""E2 — Figure 1: the ebb & flow of machines during a level-15 run.
+
+The paper's figure shows "the number of machines needed during the
+dynamic expansion and shrinking of our application run" for a run that
+"runs for 634 seconds and sometimes uses 32 machines.  The weighted
+average of the machines used in this case is 11."
+
+We regenerate the staircase from one simulated distributed run at level
+15 and check the qualitative profile: a ramp from one machine, a peak
+in the double digits (bounded by the 32-machine cluster), an ebb as the
+first diagonal's workers die, and a weighted average far below the
+peak.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cluster.trace import machines_timeline, weighted_average_machines
+from repro.harness import figure1_ebb_flow
+
+
+@pytest.mark.benchmark(group="fig1")
+def test_fig1_ebb_and_flow(benchmark, experiment):
+    fig = benchmark.pedantic(
+        lambda: figure1_ebb_flow(experiment, level=15, tol=1.0e-3),
+        rounds=3,
+        iterations=1,
+    )
+    print()
+    print(fig.rendered)
+
+    machines = fig.series["machines"]
+    times = fig.x
+    peak = max(machines)
+
+    # expansion and shrinking
+    assert machines[0] == 0 and machines[-1] <= 1
+    assert 10 <= peak <= 32, "peak must be deep into the double digits"
+    # the peak is reached well before the end (long single-machine tail
+    # of master prolongation/result reading)
+    peak_time = times[machines.index(peak)]
+    assert peak_time < 0.8 * times[-1]
+
+
+@pytest.mark.benchmark(group="fig1")
+def test_fig1_weighted_average_lags_peak(benchmark, experiment):
+    def stats():
+        rng = np.random.default_rng(634)
+        run = experiment.simulate_concurrent_once(15, 1.0e-3, rng)
+        timeline = machines_timeline(run)
+        avg = weighted_average_machines(timeline, run.elapsed_seconds)
+        return max(p.machines for p in timeline), avg
+
+    peak, avg = benchmark.pedantic(stats, rounds=3, iterations=1)
+    print(f"\npeak machines {peak}, weighted average {avg:.1f} "
+          f"(paper: peak 32, weighted average 11)")
+    assert avg < 0.75 * peak
+    assert 5.0 < avg < 20.0
+
+
+@pytest.mark.benchmark(group="fig1")
+def test_fig1_first_diagonal_dies_first(benchmark, experiment):
+    """The ebb: the level-14 diagonal's workers (half the work per
+    grid) die before the level-15 diagonal's workers."""
+    rng = np.random.default_rng(1)
+    run = benchmark.pedantic(
+        lambda: experiment.simulate_concurrent_once(15, 1.0e-3, np.random.default_rng(1)),
+        rounds=2,
+        iterations=1,
+    )
+    byes_14 = [w.bye for w in run.workers if w.grid[0] + w.grid[1] == 14]
+    byes_15 = [w.bye for w in run.workers if w.grid[0] + w.grid[1] == 15]
+    assert max(byes_14) < max(byes_15)
+    assert np.mean(byes_14) < np.mean(byes_15)

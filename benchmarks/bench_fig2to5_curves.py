@@ -1,0 +1,95 @@
+"""E3-E6 — Figures 2-5: the Table 1 contents, plotted.
+
+* Figure 2: average sequential and concurrent times vs level, 1.0e-3,
+  log scale.
+* Figure 3: average speedup and machine count vs level, 1.0e-3.
+* Figure 4: as Figure 2 for 1.0e-4.
+* Figure 5: as Figure 3 for 1.0e-4.
+
+Each bench regenerates its figure's data series, prints the terminal
+plot, and asserts the curve shapes the paper describes.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.harness import figure_speedup_machines, figure_times
+
+
+def _times_shape_checks(fig, rows, tol):
+    st = fig.series["sequential st"]
+    ct = fig.series["concurrent ct"]
+    # st: near-geometric growth => close to a line on the log plot
+    # (above the constant-overhead floor of the smallest levels)
+    log_st = [math.log(v) for v in st]
+    increments = [b - a for a, b in zip(log_st[7:], log_st[8:])]
+    assert all(0.4 < inc < 1.4 for inc in increments), increments
+    # ct: flat (overhead floor) at small levels...
+    assert ct[5] < 3.0 * ct[0]
+    # ...then rising once work dominates
+    assert ct[15] > 3.0 * ct[8]
+    # the curves cross between levels 8 and 13
+    crossings = [lvl for lvl in range(15) if (st[lvl] < ct[lvl]) != (st[lvl + 1] < ct[lvl + 1])]
+    assert crossings and 8 <= crossings[0] <= 13
+
+
+@pytest.mark.benchmark(group="fig2-5")
+def test_fig2_times_tol3(benchmark, table1_rows):
+    fig = benchmark.pedantic(
+        lambda: figure_times(table1_rows, tol=1.0e-3, figure_number=2),
+        rounds=3,
+        iterations=1,
+    )
+    print("\n" + fig.rendered)
+    _times_shape_checks(fig, table1_rows, 1.0e-3)
+
+
+@pytest.mark.benchmark(group="fig2-5")
+def test_fig4_times_tol4(benchmark, table1_rows):
+    fig = benchmark.pedantic(
+        lambda: figure_times(table1_rows, tol=1.0e-4, figure_number=4),
+        rounds=3,
+        iterations=1,
+    )
+    print("\n" + fig.rendered)
+    _times_shape_checks(fig, table1_rows, 1.0e-4)
+
+
+def _speedup_shape_checks(fig):
+    su = fig.series["speedup su"]
+    m = fig.series["machines m"]
+    # monotone-ish growth of both curves at the top end
+    assert su[15] > su[12] > su[9]
+    assert m[15] > m[12] > m[9]
+    # speedup lags machines at every level (§7)
+    assert all(s < mm for s, mm in zip(su, m))
+    # "for the levels 12 and higher the speedup is about half of the
+    # weighted number of machines used" — accept the 0.35..0.95 band
+    for lvl in (12, 13, 14, 15):
+        ratio = su[lvl] / m[lvl]
+        assert 0.35 < ratio < 0.98, (lvl, ratio)
+
+
+@pytest.mark.benchmark(group="fig2-5")
+def test_fig3_speedup_tol3(benchmark, table1_rows):
+    fig = benchmark.pedantic(
+        lambda: figure_speedup_machines(table1_rows, tol=1.0e-3, figure_number=3),
+        rounds=3,
+        iterations=1,
+    )
+    print("\n" + fig.rendered)
+    _speedup_shape_checks(fig)
+
+
+@pytest.mark.benchmark(group="fig2-5")
+def test_fig5_speedup_tol4(benchmark, table1_rows):
+    fig = benchmark.pedantic(
+        lambda: figure_speedup_machines(table1_rows, tol=1.0e-4, figure_number=5),
+        rounds=3,
+        iterations=1,
+    )
+    print("\n" + fig.rendered)
+    _speedup_shape_checks(fig)

@@ -1,0 +1,97 @@
+"""E8 — real (non-simulated) concurrent execution on this machine.
+
+Two claims of the paper are checked on actual hardware rather than in
+the simulator:
+
+* correctness: the restructured application's results "are exactly the
+  same as in the sequential version" — asserted bitwise;
+* the restructuring wins once per-grid work dominates the coordination
+  overhead — demonstrated with the multiprocessing configuration (the
+  GIL workaround: each worker in its own OS process, the moral
+  equivalent of one worker per task instance).
+
+Absolute speedups depend on this machine's core count; we assert the
+conservative direction only.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+
+import numpy as np
+import pytest
+
+from repro.perf import speedup
+from repro.restructured import run_concurrent, run_multiprocessing
+from repro.sparsegrid import SequentialApplication
+
+ROOT, LEVEL, TOL = 2, 5, 1.0e-4
+
+
+@pytest.fixture(scope="module")
+def sequential_result():
+    return SequentialApplication(root=ROOT, level=LEVEL, tol=TOL).run()
+
+
+@pytest.mark.benchmark(group="real")
+def test_real_sequential(benchmark):
+    result = benchmark.pedantic(
+        lambda: SequentialApplication(root=ROOT, level=LEVEL, tol=TOL).run(),
+        rounds=3,
+        iterations=1,
+    )
+    assert result.n_grids == 2 * LEVEL + 1
+
+
+@pytest.mark.benchmark(group="real")
+def test_real_multiprocessing_identical_and_reported(benchmark, sequential_result):
+    n_proc = min(2 * LEVEL + 1, multiprocessing.cpu_count())
+    result = benchmark.pedantic(
+        lambda: run_multiprocessing(
+            root=ROOT, level=LEVEL, tol=TOL, processes=n_proc
+        ),
+        rounds=3,
+        iterations=1,
+    )
+    assert np.array_equal(result.combined, sequential_result.combined)
+    su = speedup(sequential_result.total_seconds, result.total_seconds)
+    print(
+        f"\nreal run: st={sequential_result.total_seconds:.3f}s "
+        f"ct={result.total_seconds:.3f}s su={su:.2f} on {n_proc} processes"
+    )
+
+
+@pytest.mark.benchmark(group="real")
+def test_real_manifold_runtime_identical(benchmark, sequential_result):
+    """The full coordination runtime (threads) end to end."""
+    result, _ = benchmark.pedantic(
+        lambda: run_concurrent(root=ROOT, level=LEVEL, tol=TOL, timeout=300),
+        rounds=2,
+        iterations=1,
+    )
+    assert np.array_equal(result.combined, sequential_result.combined)
+
+
+@pytest.mark.benchmark(group="real")
+def test_real_multiprocessing_beats_sequential_at_scale(benchmark):
+    """With enough per-grid work, processes beat the sequential loop.
+
+    Uses a tighter tolerance to push per-grid work well above the
+    process-pool constant costs, the same crossover logic as Table 1.
+    """
+    if multiprocessing.cpu_count() < 2:
+        pytest.skip("needs at least two cores")
+    level, tol = 6, 1.0e-4
+
+    seq = SequentialApplication(root=ROOT, level=level, tol=tol).run()
+
+    result = benchmark.pedantic(
+        lambda: run_multiprocessing(root=ROOT, level=level, tol=tol),
+        rounds=2,
+        iterations=1,
+    )
+    su = speedup(seq.subsolve_seconds, result.pool_seconds)
+    print(f"\nlevel {level} tol {tol:g}: loop speedup {su:.2f} "
+          f"on {result.processes} processes")
+    assert np.array_equal(result.combined, seq.combined)
+    assert su > 1.0, "the concurrent loop must beat the sequential loop"

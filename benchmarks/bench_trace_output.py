@@ -1,0 +1,94 @@
+"""E7 — §6's chronological output: the Welcome/Bye run listing.
+
+The paper's §6 shows a distributed run with five workers (the master on
+``bumpa.sen.cwi.nl``, the other task instances on five named machines)
+printing labelled Welcome/Bye messages.  We regenerate the listing for
+the same configuration — five workers ⇒ level 2 — and check its
+structure: the label fields, the message pairing, and the §6
+observation that "not all the machines specified in the input file for
+the configurator are used" thanks to perpetual task reuse.
+"""
+
+from __future__ import annotations
+
+import re
+
+import numpy as np
+import pytest
+
+from repro.cluster.trace import render_trace, trace_messages
+
+LABEL = re.compile(
+    r"^(?P<host>\S+) (?P<task>\d+) (?P<proc>\d+) (?P<sec>\d{10}) (?P<usec>\d+)$"
+)
+MESSAGE = re.compile(
+    r"^  (?P<taskname>\S+) (?P<manifold>\S+\(.*\)) (?P<source>\S+) "
+    r"(?P<line>\d+) -> (?P<text>Welcome|Bye)$"
+)
+
+
+@pytest.mark.benchmark(group="trace")
+def test_trace_listing_level2(benchmark, experiment):
+    """Five workers, like the paper's §6 example run."""
+    run = benchmark.pedantic(
+        lambda: experiment.simulate_concurrent_once(2, 1.0e-3, np.random.default_rng(6)),
+        rounds=3,
+        iterations=1,
+    )
+    assert run.n_workers == 5
+    text = render_trace(run)
+    print("\n" + text)
+
+    lines = text.splitlines()
+    assert len(lines) % 2 == 0
+    for label_line, message_line in zip(lines[0::2], lines[1::2]):
+        assert LABEL.match(label_line), label_line
+        assert MESSAGE.match(message_line), message_line
+
+    # every Welcome is eventually paired with a Bye for the same process
+    messages = trace_messages(run)
+    open_processes: dict[tuple, float] = {}
+    for msg in messages:
+        key = (msg.host, msg.task_id, msg.process_id)
+        if msg.text == "Welcome":
+            assert key not in open_processes
+            open_processes[key] = msg.time
+        else:
+            assert key in open_processes
+            assert msg.time >= open_processes.pop(key)
+    assert not open_processes
+
+
+@pytest.mark.benchmark(group="trace")
+def test_trace_perpetual_reuse_saves_machines(benchmark, cost_model):
+    """'it can happen that we need less than six machines to run an
+    application with five workers' — with short grids, reuse kicks in."""
+    from repro.cluster import MultiUserNoise, SimulationParams, paper_cluster
+    from repro.cluster.simulator import simulate_distributed
+
+    costs = cost_model.level_costs(2, 1.0e-3)  # five tiny grids
+    params = SimulationParams(noise=MultiUserNoise.quiet())
+
+    run = benchmark.pedantic(
+        lambda: simulate_distributed(
+            [costs], paper_cluster(), params, np.random.default_rng(0)
+        ),
+        rounds=3,
+        iterations=1,
+    )
+    assert run.n_workers == 5
+    assert run.n_tasks_forked < 5, "perpetual reuse must save machines"
+    worker_hosts = {w.host.name for w in run.workers}
+    assert len(worker_hosts) == run.n_tasks_forked
+
+
+@pytest.mark.benchmark(group="trace")
+def test_trace_hosts_match_paper_cluster(benchmark, experiment):
+    run = benchmark.pedantic(
+        lambda: experiment.simulate_concurrent_once(2, 1.0e-3, np.random.default_rng(1)),
+        rounds=2,
+        iterations=1,
+    )
+    assert run.master_host.name == "bumpa.sen.cwi.nl"
+    for worker in run.workers:
+        assert worker.host.name.endswith(".sen.cwi.nl")

@@ -1,0 +1,47 @@
+"""Shared benchmark fixtures.
+
+The cost model is calibrated once against the real solver (levels 4-6,
+both tolerances) and cached to ``benchmarks/.calibration.json`` so
+repeated benchmark invocations skip the ~10 s of measurement.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.harness import Table1Experiment
+from repro.perf.costmodel import CostModel, measure_costs
+
+CACHE = Path(__file__).parent / ".calibration.json"
+CALIBRATION_LEVELS = [4, 5, 6]
+TOLS = [1.0e-3, 1.0e-4]
+
+
+@pytest.fixture(scope="session")
+def cost_model() -> CostModel:
+    if CACHE.exists():
+        try:
+            return CostModel.from_json(CACHE)
+        except (KeyError, ValueError):
+            CACHE.unlink()
+    records = measure_costs(
+        "rotating-cone", root=2, levels=CALIBRATION_LEVELS, tols=TOLS
+    )
+    model = CostModel.fit(records, root=2)
+    model.to_json(CACHE)
+    return model
+
+
+@pytest.fixture(scope="session")
+def experiment(cost_model) -> Table1Experiment:
+    """The paper-configuration experiment: 32-host heterogeneous
+    cluster, multi-user noise, 5-run averages."""
+    return Table1Experiment(cost_model, runs=5, seed=20040101)
+
+
+@pytest.fixture(scope="session")
+def table1_rows(experiment):
+    """The full Table 1 sweep, shared by the table and figure benches."""
+    return experiment.run_all(levels=range(16), tols=(1.0e-3, 1.0e-4))

@@ -1,0 +1,85 @@
+#!/usr/bin/env python
+"""Simulate the paper's §6 distributed run on the 32-machine cluster.
+
+Calibrates the cost model on the real solver (small levels), then
+simulates a distributed run at a chosen level on the paper's
+heterogeneous cluster: prints the chronological Welcome/Bye listing
+(§6's output format), the machines-in-use staircase (Figure 1), and the
+overhead decomposition (§7's categories).
+
+Usage::
+
+    python examples/distributed_cluster_demo.py [level] [tol]
+"""
+
+from __future__ import annotations
+
+import sys
+
+import numpy as np
+
+from repro.cluster import MultiUserNoise, SimulationParams, paper_cluster
+from repro.cluster.simulator import simulate_distributed
+from repro.cluster.trace import (
+    ascii_timeline,
+    machines_timeline,
+    render_trace,
+    weighted_average_machines,
+)
+from repro.perf import CostModel, decompose_run, measure_costs
+
+
+def main() -> int:
+    level = int(sys.argv[1]) if len(sys.argv) > 1 else 15
+    tol = float(sys.argv[2]) if len(sys.argv) > 2 else 1.0e-3
+
+    print("calibrating the cost model on the real solver (levels 4-6)...")
+    records = measure_costs("rotating-cone", root=2, levels=[4, 5, 6], tols=[tol])
+    model = CostModel.fit(records, root=2)
+    print(f"  fit R^2 = {model.r_squared:.3f}, "
+          f"solve-count R^2 = {model.solves_r_squared:.3f}")
+
+    costs = model.level_costs(level, tol)
+    prol = model.prolongation_seconds(level)
+    params = SimulationParams()
+    rng = np.random.default_rng(634)
+    run = simulate_distributed(
+        [costs], paper_cluster(), params, rng,
+        master_prolongation_ref_seconds=prol,
+    )
+
+    print()
+    print(f"== chronological output (level {level}, tol {tol:g}) ==")
+    listing = render_trace(run).splitlines()
+    head, tail = listing[:12], listing[-6:]
+    print("\n".join(head))
+    if len(listing) > 18:
+        print(f"... ({len(listing) - 18} lines elided) ...")
+        print("\n".join(tail))
+
+    timeline = machines_timeline(run)
+    avg = weighted_average_machines(timeline, run.elapsed_seconds)
+    peak = max(p.machines for p in timeline)
+    print()
+    print(f"== ebb & flow (Figure 1) ==")
+    print(f"run length {run.elapsed_seconds:.1f}s, peak {peak} machines, "
+          f"weighted average {avg:.1f}")
+    print(ascii_timeline(timeline, run.elapsed_seconds))
+
+    quiet = simulate_distributed(
+        [costs], paper_cluster(),
+        SimulationParams(noise=MultiUserNoise.quiet()),
+        np.random.default_rng(634),
+        master_prolongation_ref_seconds=prol,
+    )
+    report = decompose_run(run, quiet)
+    print()
+    print("== overhead decomposition (the three §7 categories) ==")
+    for name, value in report.as_dict().items():
+        unit = "" if name == "overhead_fraction" else "s"
+        print(f"  {name:20s} {value:10.2f}{unit}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

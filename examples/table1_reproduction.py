@@ -1,0 +1,63 @@
+#!/usr/bin/env python
+"""Regenerate the paper's full evaluation: Table 1 and Figures 1-5.
+
+Calibrates the cost model against the real solver, runs the Table 1
+sweep (two tolerances, levels 0..15, five simulated runs per cell) on
+the simulated 32-machine heterogeneous cluster, and prints the table
+next to the paper's numbers followed by terminal renderings of all five
+figures.
+
+Usage::
+
+    python examples/table1_reproduction.py [max_level]
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.harness import (
+    Table1Experiment,
+    figure1_ebb_flow,
+    figure_speedup_machines,
+    figure_times,
+    render_table1,
+)
+from repro.perf import CostModel, measure_costs
+
+
+def main() -> int:
+    max_level = int(sys.argv[1]) if len(sys.argv) > 1 else 15
+
+    print("calibrating against the real solver (levels 4-6, both tolerances)...")
+    records = measure_costs(
+        "rotating-cone", root=2, levels=[4, 5, 6], tols=[1.0e-3, 1.0e-4]
+    )
+    model = CostModel.fit(records, root=2)
+    print(f"  wall-time fit R^2 = {model.r_squared:.3f}")
+
+    experiment = Table1Experiment(model, runs=5, seed=20040101)
+    rows = experiment.run_all(
+        levels=range(max_level + 1), tols=(1.0e-3, 1.0e-4)
+    )
+
+    print()
+    print(render_table1(rows))
+
+    print()
+    fig1 = figure1_ebb_flow(experiment, level=max_level, tol=1.0e-3)
+    print(fig1.rendered)
+
+    for fig in (
+        figure_times(rows, 1.0e-3, 2),
+        figure_speedup_machines(rows, 1.0e-3, 3),
+        figure_times(rows, 1.0e-4, 4),
+        figure_speedup_machines(rows, 1.0e-4, 5),
+    ):
+        print()
+        print(fig.rendered)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,23 @@
+"""Setuptools entry point.
+
+Kept alongside ``pyproject.toml`` so editable installs work on
+environments whose setuptools predates PEP 660 wheel-less editables
+(``pip install -e . --no-build-isolation`` or ``python setup.py develop``).
+"""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="0.1.0",
+    description=(
+        "Reproduction of 'Modernizing Existing Software: A Case Study' "
+        "(SC 2004): MANIFOLD/IWIM coordination runtime, sparse-grid "
+        "advection-diffusion solver, master/worker restructuring, and a "
+        "heterogeneous-cluster simulator."
+    ),
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.10",
+    install_requires=["numpy", "scipy"],
+)

@@ -1,0 +1,38 @@
+"""Reproduction of *Modernizing Existing Software: A Case Study*
+(Everaars, Arbab, Koren — SC 2004).
+
+Subpackages:
+
+* :mod:`repro.manifold` — the MANIFOLD/IWIM coordination runtime;
+* :mod:`repro.protocol` — the generic master/worker protocol
+  (``protocolMW.m``) and the §4.3 behaviour interfaces;
+* :mod:`repro.sparsegrid` — the legacy application: a sparse-grid
+  (combination-technique) advection–diffusion solver;
+* :mod:`repro.restructured` — the restructured concurrent application
+  (``mainprog.m``) plus real multiprocessing execution;
+* :mod:`repro.cluster` — the simulated 32-machine heterogeneous cluster
+  of the paper's evaluation;
+* :mod:`repro.perf` — cost calibration, timing, overhead decomposition;
+* :mod:`repro.harness` — regeneration of Table 1 and Figures 1–5.
+
+Quickstart::
+
+    from repro.sparsegrid import SequentialApplication
+    from repro.restructured import run_concurrent
+
+    seq = SequentialApplication(root=2, level=3, tol=1e-3).run()
+    conc, _ = run_concurrent(root=2, level=3, tol=1e-3)
+    assert (seq.combined == conc.combined).all()   # identical results
+"""
+
+__version__ = "0.1.0"
+
+__all__ = [
+    "cluster",
+    "harness",
+    "manifold",
+    "perf",
+    "protocol",
+    "restructured",
+    "sparsegrid",
+]

@@ -1,0 +1,314 @@
+"""Command-line interface: ``python -m repro <command> ...``.
+
+Commands mirror the workflow of the paper:
+
+* ``run-sequential`` — the original program (``SeqSourceCode.c``);
+* ``run-concurrent`` — the restructured program (``mainprog.m``),
+  optionally with real multiprocessing workers;
+* ``calibrate`` — measure the real solver and fit the cost model;
+* ``table1`` — regenerate Table 1 on the simulated cluster;
+* ``figures`` — regenerate Figures 1-5;
+* ``trace`` — print one simulated run's §6 chronological output.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+import numpy as np
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of 'Modernizing Existing Software: A Case "
+        "Study' (SC 2004)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_problem_args(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--root", type=int, default=2,
+                       help="refinement level of the coarsest grid (paper: 2)")
+        p.add_argument("--level", type=int, default=3,
+                       help="additional refinement above the root")
+        p.add_argument("--tol", type=float, default=1.0e-3,
+                       help="the integrator tolerance le_tol")
+        p.add_argument("--problem", default="rotating-cone",
+                       help="registered problem name")
+
+    p_seq = sub.add_parser("run-sequential", help="run the original program")
+    add_problem_args(p_seq)
+
+    p_conc = sub.add_parser("run-concurrent", help="run the restructured program")
+    add_problem_args(p_conc)
+    p_conc.add_argument(
+        "--engine", choices=("threads", "processes", "task-instances"),
+        default="threads",
+        help="where worker computations execute: in the worker threads, "
+        "in a process pool, or in per-worker OS task instances with "
+        "perpetual reuse (the MLINK semantics, literally)",
+    )
+    p_conc.add_argument("--pool-per-diagonal", action="store_true",
+                        help="one workers-pool per grid diagonal (two pools)")
+    p_conc.add_argument("--verify", action="store_true",
+                        help="also run sequentially and compare bitwise")
+
+    p_cal = sub.add_parser("calibrate", help="fit the cost model on real solves")
+    p_cal.add_argument("--levels", type=int, nargs="+", default=[4, 5, 6])
+    p_cal.add_argument("--tols", type=float, nargs="+",
+                       default=[1.0e-3, 1.0e-4])
+    p_cal.add_argument("--problem", default="rotating-cone")
+    p_cal.add_argument("--root", type=int, default=2)
+    p_cal.add_argument("--output", default="calibration.json",
+                       help="where to write the fitted model")
+
+    def add_model_args(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--model", default=None,
+                       help="calibration JSON (default: calibrate in-process)")
+        p.add_argument("--runs", type=int, default=5,
+                       help="runs to average per cell (paper: 5)")
+        p.add_argument("--seed", type=int, default=20040101)
+
+    p_tab = sub.add_parser("table1", help="regenerate Table 1")
+    add_model_args(p_tab)
+    p_tab.add_argument("--levels", type=int, nargs="+",
+                       default=list(range(16)))
+    p_tab.add_argument("--tols", type=float, nargs="+",
+                       default=[1.0e-3, 1.0e-4])
+
+    p_fig = sub.add_parser("figures", help="regenerate Figures 1-5")
+    add_model_args(p_fig)
+    p_fig.add_argument("--max-level", type=int, default=15)
+
+    p_trace = sub.add_parser("trace", help="print one simulated run's output")
+    add_model_args(p_trace)
+    p_trace.add_argument("--level", type=int, default=2)
+    p_trace.add_argument("--tol", type=float, default=1.0e-3)
+
+    p_exp = sub.add_parser(
+        "experiments", help="list the experiment index, or run one quickly"
+    )
+    add_model_args(p_exp)
+    p_exp.add_argument("--run", default=None, metavar="ID",
+                       help="experiment id (e.g. E1) for a quick summary")
+
+    p_abl = sub.add_parser(
+        "ablations", help="compare the named design-choice scenarios"
+    )
+    add_model_args(p_abl)
+    p_abl.add_argument("--level", type=int, default=15)
+    p_abl.add_argument("--tol", type=float, default=1.0e-3)
+    p_abl.add_argument("--scenarios", nargs="+", default=None,
+                       help="subset of scenario names (default: all)")
+
+    return parser
+
+
+def _load_or_calibrate_model(args) -> "CostModel":
+    from repro.perf import CostModel, measure_costs
+
+    if getattr(args, "model", None):
+        return CostModel.from_json(args.model)
+    print("calibrating cost model (levels 4-6)...", file=sys.stderr)
+    records = measure_costs(
+        "rotating-cone", root=2, levels=[4, 5, 6], tols=[1.0e-3, 1.0e-4]
+    )
+    return CostModel.fit(records, root=2)
+
+
+def cmd_run_sequential(args) -> int:
+    from repro.sparsegrid import SequentialApplication
+    from repro.sparsegrid.registry import make_problem
+
+    app = SequentialApplication(
+        root=args.root, level=args.level, tol=args.tol,
+        problem=make_problem(args.problem),
+    )
+    result = app.run()
+    print(f"grids: {result.n_grids}, total {result.total_seconds:.3f}s "
+          f"(subsolve {result.subsolve_seconds:.3f}s, "
+          f"prolongation {result.prolongation_seconds:.3f}s)")
+    print(f"combined solution on {result.target_grid}: "
+          f"min {result.combined.min():.4f}, max {result.combined.max():.4f}")
+    return 0
+
+
+def cmd_run_concurrent(args) -> int:
+    from repro.restructured import (
+        ProcessPoolEngine,
+        TaskInstanceEngine,
+        run_concurrent,
+    )
+    from repro.restructured.mainprog import DEFAULT_MLINK
+    from repro.sparsegrid import SequentialApplication
+    from repro.sparsegrid.registry import make_problem
+
+    engine = None
+    if args.engine == "processes":
+        engine = ProcessPoolEngine()
+    elif args.engine == "task-instances":
+        engine = TaskInstanceEngine()
+    result, tasks = run_concurrent(
+        root=args.root, level=args.level, tol=args.tol,
+        problem_name=args.problem,
+        engine=engine,
+        pool_per_diagonal=args.pool_per_diagonal,
+        link_spec_text=DEFAULT_MLINK,
+    )
+    print(f"workers: {result.n_workers}, total {result.total_seconds:.3f}s "
+          f"(pool {result.pool_seconds:.3f}s)")
+    if tasks is not None:
+        print(f"task instances forked: {len(tasks.instances())}, "
+              f"peak alive {tasks.peak_instances()}")
+    if isinstance(engine, TaskInstanceEngine):
+        print(f"OS task instances: {engine.stats.spawned} spawned, "
+              f"{engine.stats.reused} worker(s) reused one")
+        engine.close()
+    if args.verify:
+        seq = SequentialApplication(
+            root=args.root, level=args.level, tol=args.tol,
+            problem=make_problem(args.problem),
+        ).run()
+        identical = np.array_equal(seq.combined, result.combined)
+        print(f"bitwise identical to sequential: {identical}")
+        return 0 if identical else 1
+    return 0
+
+
+def cmd_calibrate(args) -> int:
+    from repro.perf import CostModel, measure_costs
+
+    records = measure_costs(
+        args.problem, root=args.root, levels=args.levels, tols=args.tols
+    )
+    model = CostModel.fit(records, root=args.root)
+    model.to_json(args.output)
+    print(f"fitted on {len(records)} records: wall R^2 {model.r_squared:.3f}, "
+          f"solves R^2 {model.solves_r_squared:.3f}")
+    print(f"model written to {args.output}")
+    return 0
+
+
+def cmd_table1(args) -> int:
+    from repro.harness import Table1Experiment, render_table1
+
+    model = _load_or_calibrate_model(args)
+    experiment = Table1Experiment(model, runs=args.runs, seed=args.seed)
+    rows = experiment.run_all(levels=args.levels, tols=tuple(args.tols))
+    print(render_table1(rows))
+    return 0
+
+
+def cmd_figures(args) -> int:
+    from repro.harness import (
+        Table1Experiment,
+        figure1_ebb_flow,
+        figure_speedup_machines,
+        figure_times,
+    )
+
+    model = _load_or_calibrate_model(args)
+    experiment = Table1Experiment(model, runs=args.runs, seed=args.seed)
+    rows = experiment.run_all(
+        levels=range(args.max_level + 1), tols=(1.0e-3, 1.0e-4)
+    )
+    print(figure1_ebb_flow(experiment, level=args.max_level, tol=1.0e-3).rendered)
+    for fig in (
+        figure_times(rows, 1.0e-3, 2),
+        figure_speedup_machines(rows, 1.0e-3, 3),
+        figure_times(rows, 1.0e-4, 4),
+        figure_speedup_machines(rows, 1.0e-4, 5),
+    ):
+        print()
+        print(fig.rendered)
+    return 0
+
+
+def cmd_trace(args) -> int:
+    from repro.harness import Table1Experiment
+    from repro.cluster.trace import render_trace
+
+    model = _load_or_calibrate_model(args)
+    experiment = Table1Experiment(model, runs=1, seed=args.seed)
+    run = experiment.simulate_concurrent_once(
+        args.level, args.tol, np.random.default_rng(args.seed)
+    )
+    print(render_trace(run))
+    return 0
+
+
+def cmd_ablations(args) -> int:
+    from repro.cluster.scenarios import get_scenario, scenario_names
+    from repro.cluster.simulator import simulate_distributed
+    from repro.cluster.trace import machines_timeline, weighted_average_machines
+    from repro.harness import render_table
+
+    model = _load_or_calibrate_model(args)
+    costs = model.level_costs(args.level, args.tol)
+    prol = model.prolongation_seconds(args.level)
+    names = args.scenarios or scenario_names()
+    rows = []
+    for name in names:
+        scenario = get_scenario(name)
+        run = simulate_distributed(
+            [costs], scenario.cluster(), scenario.params(),
+            np.random.default_rng(args.seed),
+            master_prolongation_ref_seconds=prol,
+        )
+        timeline = machines_timeline(run)
+        rows.append([
+            name,
+            run.elapsed_seconds,
+            run.n_tasks_forked,
+            weighted_average_machines(timeline, run.elapsed_seconds),
+            scenario.description,
+        ])
+    print(render_table(
+        ["scenario", "ct (s)", "tasks", "m", "description"],
+        rows,
+        title=f"Scenario ablations, level {args.level}, tol {args.tol:g}",
+    ))
+    return 0
+
+
+def cmd_experiments(args) -> int:
+    from repro.harness.experiments import get_experiment, render_index
+
+    if args.run is None:
+        print(render_index())
+        return 0
+    experiment = get_experiment(args.run)
+    print(f"{experiment.id}: {experiment.paper_artifact} — {experiment.summary}")
+    print(f"full regeneration: pytest {experiment.bench_target} --benchmark-only -s")
+    if experiment.quick is None:
+        print("(no quick summary: this experiment runs real code; use the bench)")
+        return 0
+    model = _load_or_calibrate_model(args)
+    print()
+    print(experiment.quick(model))
+    return 0
+
+
+_COMMANDS = {
+    "run-sequential": cmd_run_sequential,
+    "run-concurrent": cmd_run_concurrent,
+    "calibrate": cmd_calibrate,
+    "table1": cmd_table1,
+    "figures": cmd_figures,
+    "trace": cmd_trace,
+    "ablations": cmd_ablations,
+    "experiments": cmd_experiments,
+}
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    raise SystemExit(main())

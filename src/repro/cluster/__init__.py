@@ -1,0 +1,56 @@
+"""The simulated cluster of workstations.
+
+The paper's evaluation ran on hardware we do not have: 32 heterogeneous
+single-processor AMD Athlon workstations (24 x 1200 MHz, 5 x 1400 MHz,
+3 x 1466 MHz, 256 KB cache) on switched 100 Mbps Ethernet, at night, in
+a multi-user environment.  This package simulates that testbed:
+
+* :mod:`host` — the host inventory, including the paper's exact mix;
+* :mod:`network` — a latency/bandwidth model of the switched Ethernet
+  with per-NIC serialization (the master's NIC is the hot spot);
+* :mod:`noise` — the "unpredictable effects" of §7: multi-user load,
+  screen savers, runaway jobs, file-server delays;
+* :mod:`simulator` — the discrete-event model of a distributed run of
+  the restructured application (and of the sequential baseline);
+* :mod:`trace` — chronological Welcome/Bye output in the paper's format
+  and the machines-in-use timeline behind Figure 1.
+"""
+
+from .host import Host, paper_cluster, uniform_cluster
+from .network import EthernetModel
+from .noise import MultiUserNoise, NoiseSample
+from .scenarios import SCENARIOS, Scenario, get_scenario, scenario_names
+from .simulator import (
+    DistributedRun,
+    GridCost,
+    SequentialRun,
+    SimulationParams,
+    WorkerInterval,
+    simulate_distributed,
+    simulate_sequential,
+)
+from .trace import MachinePoint, machines_timeline, render_trace, weighted_average_machines
+
+__all__ = [
+    "DistributedRun",
+    "EthernetModel",
+    "GridCost",
+    "Host",
+    "MachinePoint",
+    "MultiUserNoise",
+    "NoiseSample",
+    "SCENARIOS",
+    "Scenario",
+    "get_scenario",
+    "scenario_names",
+    "SequentialRun",
+    "SimulationParams",
+    "WorkerInterval",
+    "machines_timeline",
+    "paper_cluster",
+    "render_trace",
+    "simulate_distributed",
+    "simulate_sequential",
+    "uniform_cluster",
+    "weighted_average_machines",
+]

@@ -1,0 +1,86 @@
+"""Host inventory: the workstations of the simulated cluster.
+
+The paper's cluster: "All the machines in our cluster have an AMD
+Athlon Processor and a cache size of 256Kb.  However 24 machines have a
+clock cycle of 1200Hz, 5 machines have a clock cycle of 1400Hz, and 3
+machines have a clock cycle of 1466Hz" — connected by switched 100 Mbps
+Ethernet.  (The paper writes "Hz" where it plainly means MHz.)
+
+Host names follow the paper's CWI convention of musical instruments on
+the ``sen.cwi.nl`` domain (bumpa, diplice, alboka, altfluit, arghul,
+basfluit, ...).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["Host", "paper_cluster", "uniform_cluster", "STARTUP_HOST_NAME"]
+
+#: The paper's start-up machine ("the machine we are sitting behind").
+STARTUP_HOST_NAME = "bumpa.sen.cwi.nl"
+
+#: Musical-instrument host names in the paper's style; the first six are
+#: the ones that actually appear in the paper's output listing.
+_INSTRUMENTS = [
+    "bumpa", "diplice", "alboka", "altfluit", "arghul", "basfluit",
+    "cimbalom", "dulcimer", "erhu", "fujara", "gadulka", "hackbrett",
+    "igil", "jinghu", "kantele", "launeddas", "mandola", "nyckelharpa",
+    "ocarina", "panpipe", "quena", "rebec", "sarangi", "tambura",
+    "udu", "vielle", "whistle", "xalam", "yayli", "zurna",
+    "bombarde", "crwth",
+]
+
+
+@dataclass(frozen=True)
+class Host:
+    """One single-processor workstation."""
+
+    name: str
+    clock_mhz: int
+    cache_kb: int = 256
+
+    def __post_init__(self) -> None:
+        if self.clock_mhz <= 0:
+            raise ValueError(f"clock_mhz must be positive, got {self.clock_mhz}")
+
+    @property
+    def speed_factor(self) -> float:
+        """Relative speed against the 1200 MHz reference machine.
+
+        The cost model expresses per-grid work in reference seconds;
+        a 1400 MHz host runs it ``1400/1200`` times faster.  "Their
+        speeds are of the same order of magnitude" — the factor stays
+        within [1.0, 1.22] for the paper's mix.
+        """
+        return self.clock_mhz / 1200.0
+
+    def __str__(self) -> str:
+        return f"{self.name}({self.clock_mhz}MHz)"
+
+
+def paper_cluster() -> list[Host]:
+    """The paper's exact 32-machine mix, start-up machine first.
+
+    24 x 1200 MHz (including the start-up machine), 5 x 1400 MHz,
+    3 x 1466 MHz.  Ordered so the slow majority comes first — the
+    CONFIG locus assigns hosts in order, matching a realistic
+    first-available policy.
+    """
+    clocks = [1200] * 24 + [1400] * 5 + [1466] * 3
+    return [
+        Host(name=f"{_INSTRUMENTS[i]}.sen.cwi.nl", clock_mhz=clock)
+        for i, clock in enumerate(clocks)
+    ]
+
+
+def uniform_cluster(n: int, clock_mhz: int = 1200) -> list[Host]:
+    """A homogeneous cluster ("unfortunately ... not available" to the
+    authors; useful for ablating the heterogeneity effect)."""
+    if n < 1:
+        raise ValueError(f"cluster needs at least one host, got {n}")
+    if n > len(_INSTRUMENTS):
+        names = [f"node{i:03d}" for i in range(n)]
+    else:
+        names = [f"{inst}.sen.cwi.nl" for inst in _INSTRUMENTS[:n]]
+    return [Host(name=name, clock_mhz=clock_mhz) for name in names]

@@ -1,0 +1,67 @@
+"""Switched-Ethernet model: latency, bandwidth, per-NIC serialization.
+
+"The workstations in the cluster are connected to each other by a
+switched Ethernet (100 Mbps)."  A switch isolates flows between
+distinct host pairs, so the only real contention point in the
+master/worker protocol is the *master's own network interface*: every
+job it sends and every result it receives crosses that one NIC.  The
+model therefore tracks a busy-until time per NIC and serializes
+transfers through it — this is precisely the serial data-passing
+bottleneck the paper concedes in §4.1 ("the master process passes all
+data to and from the workers") and the reason it floats the I/O-worker
+alternative we ablate in the benchmarks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["EthernetModel"]
+
+
+@dataclass
+class EthernetModel:
+    """A 100 Mbps switched Ethernet (values overridable for ablations)."""
+
+    bandwidth_mbps: float = 100.0
+    #: one-way message latency (switch + stack), seconds
+    latency_s: float = 0.5e-3
+    #: fixed per-message protocol overhead in bytes (headers, PVM-style
+    #: packing) — only matters for the small control messages
+    per_message_overhead_bytes: int = 512
+
+    def __post_init__(self) -> None:
+        if self.bandwidth_mbps <= 0:
+            raise ValueError(f"bandwidth must be positive, got {self.bandwidth_mbps}")
+        if self.latency_s < 0:
+            raise ValueError(f"latency must be non-negative, got {self.latency_s}")
+        self._nic_busy_until: dict[str, float] = {}
+
+    def transfer_seconds(self, n_bytes: int) -> float:
+        """Pure wire time of one message of ``n_bytes`` payload."""
+        if n_bytes < 0:
+            raise ValueError(f"n_bytes must be non-negative, got {n_bytes}")
+        total = n_bytes + self.per_message_overhead_bytes
+        return self.latency_s + total * 8.0 / (self.bandwidth_mbps * 1.0e6)
+
+    # ------------------------------------------------------------------
+    # per-NIC serialization
+    # ------------------------------------------------------------------
+    def reset(self) -> None:
+        """Forget all NIC state (call between simulated runs)."""
+        self._nic_busy_until.clear()
+
+    def occupy(self, nic: str, earliest: float, n_bytes: int) -> tuple[float, float]:
+        """Schedule a transfer through ``nic``.
+
+        The transfer starts when both the data is ready (``earliest``)
+        and the NIC is free; returns ``(start, finish)`` and marks the
+        NIC busy until ``finish``.
+        """
+        start = max(earliest, self._nic_busy_until.get(nic, 0.0))
+        finish = start + self.transfer_seconds(n_bytes)
+        self._nic_busy_until[nic] = finish
+        return start, finish
+
+    def nic_free_at(self, nic: str) -> float:
+        return self._nic_busy_until.get(nic, 0.0)

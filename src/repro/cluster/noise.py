@@ -1,0 +1,63 @@
+"""Multi-user perturbations: the "unpredictable effects" of §7.
+
+"There are always unpredictable effects such as network traffic and
+file server delays ... some users ... run their own job(s) at night,
+run screen savers or have runaway Netscape jobs."  The model is a
+per-(host, run) multiplicative slowdown:
+
+* a baseline lognormal jitter (file server delays, cache effects) with
+  a small sigma — the paper found the five-run spread "not so big";
+* with small probability, a *background job* on the host (screen saver,
+  runaway browser) stealing a uniform slice of the CPU.
+
+All randomness flows through one seeded ``numpy.random.Generator``, so
+simulated experiments are exactly reproducible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["NoiseSample", "MultiUserNoise"]
+
+
+@dataclass(frozen=True)
+class NoiseSample:
+    """The perturbation drawn for one host in one run."""
+
+    slowdown: float          # >= 1: multiply work durations by this
+    background_job: bool     # a heavier co-tenant was present
+
+    def __post_init__(self) -> None:
+        if self.slowdown < 1.0:
+            raise ValueError(f"slowdown must be >= 1, got {self.slowdown}")
+
+
+@dataclass
+class MultiUserNoise:
+    """Noise model; ``quiet()`` gives the dedicated-machine ablation."""
+
+    #: sigma of the baseline lognormal jitter
+    jitter_sigma: float = 0.04
+    #: probability a host carries a background job during the run
+    background_probability: float = 0.06
+    #: CPU share stolen by a background job: uniform in this range
+    background_steal: tuple[float, float] = (0.10, 0.45)
+
+    @classmethod
+    def quiet(cls) -> "MultiUserNoise":
+        """Dedicated machines: no perturbation at all."""
+        return cls(jitter_sigma=0.0, background_probability=0.0)
+
+    def sample(self, rng: np.random.Generator) -> NoiseSample:
+        """Draw one host's perturbation for one run."""
+        jitter = float(np.exp(abs(rng.normal(0.0, self.jitter_sigma)))) if self.jitter_sigma > 0 else 1.0
+        background = bool(rng.random() < self.background_probability)
+        slowdown = jitter
+        if background:
+            lo, hi = self.background_steal
+            steal = float(rng.uniform(lo, hi))
+            slowdown /= (1.0 - steal)
+        return NoiseSample(slowdown=slowdown, background_job=background)

@@ -1,0 +1,103 @@
+"""Named experiment scenarios: the paper's configuration and its ablations.
+
+Benchmarks, the CLI and the examples all sweep the same design choices;
+this module gives each configuration a name and a single place to live:
+
+* ``paper``            — the §6/§7 setup: 32 heterogeneous hosts, noise,
+  one worker per perpetual task instance, master passes all data;
+* ``dedicated``        — noise off (the machines the authors wished for);
+* ``homogeneous``      — 32 identical 1200 MHz hosts;
+* ``no-perpetual``     — every worker forks a fresh task instance;
+* ``io-workers``       — the §4.1 alternative (master stops passing data);
+* ``no-initial-data``  — workers rebuild their grid data locally;
+* ``one-task``         — every worker bundled into a single task instance
+  on one (single-CPU) machine: the ``{load n}`` shared configuration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from .host import Host, paper_cluster, uniform_cluster
+from .noise import MultiUserNoise
+from .simulator import SimulationParams
+
+__all__ = ["Scenario", "SCENARIOS", "get_scenario", "scenario_names"]
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One named simulator configuration."""
+
+    name: str
+    description: str
+    make_params: Callable[[], SimulationParams]
+    make_cluster: Callable[[], list[Host]] = paper_cluster
+
+    def params(self) -> SimulationParams:
+        return self.make_params()
+
+    def cluster(self) -> list[Host]:
+        return self.make_cluster()
+
+
+def _one_task_params() -> SimulationParams:
+    # large enough for any level the harness sweeps (w = 2*15 + 1)
+    return SimulationParams(workers_per_task=64)
+
+
+SCENARIOS: dict[str, Scenario] = {
+    scenario.name: scenario
+    for scenario in (
+        Scenario(
+            "paper",
+            "the paper's configuration (heterogeneous, noisy, perpetual)",
+            SimulationParams,
+        ),
+        Scenario(
+            "dedicated",
+            "dedicated machines: multi-user noise removed",
+            lambda: SimulationParams(noise=MultiUserNoise.quiet()),
+        ),
+        Scenario(
+            "homogeneous",
+            "a homogeneous cluster of 32 x 1200 MHz machines",
+            SimulationParams,
+            lambda: uniform_cluster(32),
+        ),
+        Scenario(
+            "no-perpetual",
+            "task instances die when emptied: no reuse",
+            lambda: SimulationParams(perpetual=False),
+        ),
+        Scenario(
+            "io-workers",
+            "the §4.1 I/O-worker alternative the authors did not try",
+            lambda: SimulationParams(io_workers=True),
+        ),
+        Scenario(
+            "no-initial-data",
+            "workers rebuild initial grid data locally (no shipping)",
+            lambda: SimulationParams(ship_initial_data=False),
+        ),
+        Scenario(
+            "one-task",
+            "all workers in one task instance on one machine ({load n})",
+            _one_task_params,
+        ),
+    )
+}
+
+
+def scenario_names() -> list[str]:
+    return list(SCENARIOS)
+
+
+def get_scenario(name: str) -> Scenario:
+    try:
+        return SCENARIOS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown scenario {name!r}; choose from {scenario_names()}"
+        ) from None

@@ -1,0 +1,409 @@
+"""Discrete-event simulation of the restructured application's runs.
+
+The simulator reproduces the timing structure of §6/§7 without the
+authors' testbed:
+
+* the master (and the ``Main`` coordinator) live in the first task
+  instance on the start-up machine;
+* each ``create_worker`` forks a task instance on a free machine —
+  *unless* an emptied perpetual task instance can welcome the worker
+  (the reuse behaviour that lets a run use fewer machines than
+  workers);
+* the master passes all data to and from the workers, so every job and
+  every result serializes through the master's NIC (§4.1);
+* per-grid compute time is ``work_ref / host.speed_factor * noise``,
+  with ``work_ref`` from the calibrated cost model (reference machine =
+  the 1200 MHz Athlon class);
+* the master's creation loop, result reading, rendezvous and final
+  prolongation follow the behaviour interface of §4.3 step by step.
+
+Approximation (documented): the master's job sends reserve the NIC in
+program order, and result transfers are serialized in compute-completion
+order behind them.  Interleavings where an early result races a late
+job send are resolved in favour of the send; at the message sizes
+involved this shifts arrivals by at most one transfer time.
+
+The result records everything the paper reports: the elapsed time, the
+per-worker Welcome/Bye intervals (Figure 1's raw data), and a full
+overhead decomposition (the §7 overhead categories, itemized).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+from .host import Host
+from .network import EthernetModel
+from .noise import MultiUserNoise, NoiseSample
+
+__all__ = [
+    "GridCost",
+    "SimulationParams",
+    "WorkerInterval",
+    "DistributedRun",
+    "SequentialRun",
+    "simulate_distributed",
+    "simulate_sequential",
+]
+
+
+@dataclass(frozen=True)
+class GridCost:
+    """The cost-model summary of one ``subsolve(l, m)`` call."""
+
+    l: int
+    m: int
+    #: wall seconds of the subsolve on the reference (1200 MHz) machine
+    work_ref_seconds: float
+    #: bytes of the result (the full nodal solution array)
+    result_bytes: int
+    #: bytes the master sends the worker (job spec; plus the grid data
+    #: when the configuration ships initial data)
+    job_bytes: int = 2048
+
+    def __post_init__(self) -> None:
+        if self.work_ref_seconds < 0:
+            raise ValueError(f"work must be non-negative, got {self.work_ref_seconds}")
+        if self.result_bytes < 0 or self.job_bytes < 0:
+            raise ValueError("byte counts must be non-negative")
+
+
+@dataclass
+class SimulationParams:
+    """Timing constants of the coordination layer and the run set-up.
+
+    Defaults are chosen to be plausible for the paper's 2003-era
+    MANIFOLD-over-PVM deployment and are validated against the paper's
+    small-level concurrent times (where the constants dominate):
+    ``ct(0) ~ 7.7 s`` and the near-linear growth of ``ct`` with the
+    worker count through the no-gain levels.
+    """
+
+    #: application start: MLINK'ed executable load, CONFIG, first task
+    startup_seconds: float = 5.8
+    #: master's sequential initialization ("some initial computations")
+    master_init_seconds: float = 0.1
+    #: one event propagation between process instances
+    event_latency_seconds: float = 0.004
+    #: forking a fresh task instance on a (remote) machine
+    fork_seconds: float = 1.25
+    #: per-worker creation/handshake cost even on a reused task instance
+    handshake_seconds: float = 0.55
+    #: does the master ship the grid's initial data to the worker?
+    ship_initial_data: bool = True
+    #: application wind-down after the master's Bye
+    shutdown_seconds: float = 0.2
+    network: EthernetModel = field(default_factory=EthernetModel)
+    noise: MultiUserNoise = field(default_factory=MultiUserNoise)
+    #: task-instance load limit for Worker instances (1 = the paper's
+    #: distributed config: one worker per task; larger values re-bundle
+    #: workers into shared task instances, the "parallel" config)
+    workers_per_task: int = 1
+    #: emptied task instances stay alive for reuse ({perpetual})
+    perpetual: bool = True
+    #: the §4.1 alternative the authors did not try: dedicated I/O
+    #: workers relieve the master of data passing — job and result
+    #: transfers spread over ``n_io_workers`` NICs instead of
+    #: serializing through the master's, at extra coordination cost
+    io_workers: bool = False
+    n_io_workers: int = 4
+    #: extra per-worker coordination when I/O workers are interposed
+    io_worker_overhead_seconds: float = 0.15
+
+    def __post_init__(self) -> None:
+        if self.workers_per_task < 1:
+            raise ValueError(
+                f"workers_per_task must be >= 1, got {self.workers_per_task}"
+            )
+
+
+@dataclass(frozen=True)
+class WorkerInterval:
+    """One worker's life, as the trace records it."""
+
+    grid: tuple[int, int]
+    host: Host
+    task_id: int
+    welcome: float      # worker starts (has its job)
+    bye: float          # worker dies (result delivered)
+    compute_seconds: float
+    forked_task: bool   # did this worker force a fresh task instance?
+
+
+@dataclass
+class DistributedRun:
+    """Outcome of one simulated distributed run."""
+
+    elapsed_seconds: float
+    workers: list[WorkerInterval]
+    master_host: Host
+    master_welcome: float
+    master_bye: float
+    #: overhead decomposition (the §7 categories, itemized)
+    breakdown: dict[str, float]
+    #: hosts that ever housed a task instance (master host first)
+    hosts_used: list[Host]
+    n_tasks_forked: int
+
+    @property
+    def n_workers(self) -> int:
+        return len(self.workers)
+
+
+@dataclass
+class SequentialRun:
+    """Outcome of one simulated sequential run."""
+
+    elapsed_seconds: float
+    host: Host
+    noise: NoiseSample
+
+
+class _SimTask:
+    """Placement bookkeeping for one simulated worker task instance."""
+
+    __slots__ = ("id", "host", "slot_busy_until", "forked_at")
+
+    def __init__(self, task_id: int, host: Host, forked_at: float) -> None:
+        self.id = task_id
+        self.host = host
+        self.forked_at = forked_at
+        self.slot_busy_until: list[float] = []
+
+    def busy_slots(self, t: float) -> int:
+        return sum(1 for until in self.slot_busy_until if until > t)
+
+    def free_slot_at(self, limit: int) -> float:
+        """Earliest time a worker slot is available under ``limit``.
+
+        The busy count at time ``t`` is ``#{u > t}``; it drops below
+        ``limit`` exactly at the ``limit``-th largest busy-until value.
+        """
+        if len(self.slot_busy_until) < limit:
+            return 0.0
+        return sorted(self.slot_busy_until, reverse=True)[limit - 1]
+
+
+def simulate_distributed(
+    pools: Sequence[Sequence[GridCost]],
+    cluster: Sequence[Host],
+    params: SimulationParams,
+    rng: np.random.Generator,
+    *,
+    master_prolongation_ref_seconds: float = 0.0,
+) -> DistributedRun:
+    """Simulate one distributed run of the restructured application.
+
+    ``pools`` is the master's pool structure: one inner sequence per
+    workers-pool, in the order the master requests them (the default
+    configuration is a single pool containing every grid of the nested
+    loop; the per-diagonal ablation passes two).
+    """
+    if not cluster:
+        raise ValueError("cluster must contain at least one host")
+    network = params.network
+    network.reset()
+    noise_by_host: dict[str, NoiseSample] = {
+        h.name: params.noise.sample(rng) for h in cluster
+    }
+
+    master_host = cluster[0]
+    master_nic = master_host.name
+    breakdown = {
+        "startup": params.startup_seconds,
+        "master_init": params.master_init_seconds,
+        "fork": 0.0,
+        "handshake": 0.0,
+        "events": 0.0,
+        "send_wait": 0.0,
+        "result_wait": 0.0,
+        "work_critical": 0.0,
+        "prolongation": 0.0,
+        "shutdown": params.shutdown_seconds,
+    }
+
+    # --- placement state ---------------------------------------------
+    tasks: list[_SimTask] = []
+    # (available_from, host): the master's machine is not in the locus
+    host_pool: list[tuple[float, Host]] = [(0.0, h) for h in cluster[1:]]
+    n_forked = 0
+
+    def place_worker(t: float) -> tuple[_SimTask, float, bool]:
+        """Task housing a worker requested at ``t``; returns
+        ``(task, ready_time, forked)``."""
+        nonlocal n_forked
+        if params.perpetual or params.workers_per_task > 1:
+            for task in tasks:
+                if task.busy_slots(t) < params.workers_per_task:
+                    return task, t, False
+        if host_pool:
+            free_at, host = min(host_pool, key=lambda e: e[0])
+        else:
+            # every machine holds a live task: queue on the task whose
+            # next worker slot frees earliest
+            if not tasks:
+                raise RuntimeError("no worker machines available in the cluster")
+            task = min(
+                tasks, key=lambda task: task.free_slot_at(params.workers_per_task)
+            )
+            ready = task.free_slot_at(params.workers_per_task)
+            return task, max(t, ready), False
+        host_pool.remove((free_at, host))
+        task = _SimTask(len(tasks) + 1, host, max(t, free_at))
+        tasks.append(task)
+        n_forked += 1
+        return task, max(t, free_at), True
+
+    # --- the master's timeline -----------------------------------------
+    t_master = params.startup_seconds
+    master_welcome = t_master
+    t_master += params.master_init_seconds
+
+    workers: list[WorkerInterval] = []
+    worker_counter = 0
+
+    def data_nic(index: int) -> str:
+        """NIC that carries worker ``index``'s data transfers."""
+        if params.io_workers:
+            return f"io-worker-{index % max(1, params.n_io_workers)}"
+        return master_nic
+
+    for pool in pools:
+        # step 3(a): create_pool event to the coordinator
+        t_master += params.event_latency_seconds
+        breakdown["events"] += params.event_latency_seconds
+
+        staged: list[tuple[GridCost, _SimTask, float, float, bool, int]] = []
+        for cost in pool:
+            # step 3(b): create_worker event
+            t_master += params.event_latency_seconds
+            task, ready, forked = place_worker(t_master)
+            if forked:
+                t_master = ready + params.fork_seconds
+                breakdown["fork"] += params.fork_seconds
+            else:
+                t_master = ready
+            t_master += params.handshake_seconds
+            breakdown["handshake"] += params.handshake_seconds
+            # step 3(c): &worker arrives at the master
+            t_master += params.event_latency_seconds
+            breakdown["events"] += 2 * params.event_latency_seconds
+
+            # step 3(d): master writes the job (serialized on its NIC,
+            # or handed to an I/O worker in the §4.1 alternative)
+            send_bytes = cost.job_bytes + (
+                cost.result_bytes if params.ship_initial_data else 0
+            )
+            nic = data_nic(worker_counter)
+            if params.io_workers:
+                # master only hands the job over; the I/O worker moves it
+                t_master += params.io_worker_overhead_seconds
+                breakdown["handshake"] += params.io_worker_overhead_seconds
+                _, send_end = network.occupy(nic, t_master, send_bytes)
+            else:
+                _, send_end = network.occupy(nic, t_master, send_bytes)
+                breakdown["send_wait"] += send_end - t_master
+                t_master = send_end
+
+            sample = noise_by_host[task.host.name]
+            compute = (
+                cost.work_ref_seconds / task.host.speed_factor * sample.slowdown
+            )
+            welcome = send_end
+            # single-processor hosts timeshare: a worker landing next to
+            # k busy co-residents of its task instance runs ~(k+1)x
+            # slower (first-order model; exact interleaving would need a
+            # per-host CPU scheduler, which the ablation does not need)
+            co_residents = task.busy_slots(welcome)
+            if co_residents:
+                compute *= 1 + co_residents
+            compute_end = welcome + compute
+            # reserve the slot until the estimated result hand-off; the
+            # exact bye (NIC-contended) replaces it in the result phase
+            task.slot_busy_until.append(
+                compute_end + network.transfer_seconds(cost.result_bytes)
+            )
+            staged.append((cost, task, welcome, compute_end, forked, worker_counter))
+            worker_counter += 1
+
+        # step 3(f): read all results (completion order; master NIC
+        # serializes the transfers)
+        last_arrival = t_master
+        pool_intervals: list[WorkerInterval] = []
+        for cost, task, welcome, compute_end, forked, index in sorted(
+            staged, key=lambda s: s[3]
+        ):
+            _, arrival = network.occupy(data_nic(index), compute_end, cost.result_bytes)
+            pool_intervals.append(
+                WorkerInterval(
+                    grid=(cost.l, cost.m),
+                    host=task.host,
+                    task_id=task.id,
+                    welcome=welcome,
+                    bye=arrival,
+                    compute_seconds=compute_end - welcome,
+                    forked_task=forked,
+                )
+            )
+            last_arrival = max(last_arrival, arrival)
+
+        breakdown["result_wait"] += max(0.0, last_arrival - t_master)
+        breakdown["work_critical"] += max(
+            (w.compute_seconds for w in pool_intervals), default=0.0
+        )
+        t_master = max(t_master, last_arrival)
+        workers.extend(pool_intervals)
+
+        # steps 3(g)-(h): rendezvous round trip
+        t_master += 2 * params.event_latency_seconds
+        breakdown["events"] += 2 * params.event_latency_seconds
+
+    # step 4: finished; step 5: prolongation on the master's machine
+    master_sample = noise_by_host[master_host.name]
+    prol = (
+        master_prolongation_ref_seconds
+        / master_host.speed_factor
+        * master_sample.slowdown
+    )
+    breakdown["prolongation"] = prol
+    t_master += prol
+    master_bye = t_master
+    elapsed = t_master + params.shutdown_seconds
+
+    hosts_used = [master_host] + [task.host for task in tasks]
+    return DistributedRun(
+        elapsed_seconds=elapsed,
+        workers=workers,
+        master_host=master_host,
+        master_welcome=master_welcome,
+        master_bye=master_bye,
+        breakdown=breakdown,
+        hosts_used=hosts_used,
+        n_tasks_forked=n_forked,
+    )
+
+
+def simulate_sequential(
+    costs: Sequence[GridCost],
+    host: Host,
+    params: SimulationParams,
+    rng: np.random.Generator,
+    *,
+    prolongation_ref_seconds: float = 0.0,
+) -> SequentialRun:
+    """Simulate one run of the *original* sequential program.
+
+    No MANIFOLD layer: just the program start, the nested loop's work,
+    and the prolongation, all on one machine under one noise draw.
+    """
+    sample = params.noise.sample(rng)
+    work = sum(c.work_ref_seconds for c in costs)
+    elapsed = (
+        0.05  # plain process start
+        + params.master_init_seconds
+        + (work + prolongation_ref_seconds) / host.speed_factor * sample.slowdown
+    )
+    return SequentialRun(elapsed_seconds=elapsed, host=host, noise=sample)

@@ -1,0 +1,222 @@
+"""Chronological run output and the machines-in-use timeline.
+
+§6 of the paper shows the restructured application's chronological
+output: every master/worker start and end prints a labelled line ::
+
+    basfluit.sen.cwi.nl 1572865 79 1048087412 275851
+      mainprog Worker(event) ResSourceCode.c 351 -> Welcome
+
+(machine, task-instance id, process-instance id, seconds and
+microseconds since the epoch, task name, manifold name, source file,
+line, message).  "From the output, like above, we can make a graph that
+shows the number of machines needed during the dynamic expansion and
+shrinking of our application run" — Figure 1.
+
+This module renders the same format from a simulated (or real) run and
+derives the machine-count timeline: a machine counts as *in use* while
+at least one process instance housed on it is alive (between its
+Welcome and its Bye).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from .simulator import DistributedRun
+
+__all__ = [
+    "TraceMessage",
+    "MachinePoint",
+    "trace_messages",
+    "render_trace",
+    "machines_timeline",
+    "weighted_average_machines",
+    "ascii_timeline",
+]
+
+#: epoch offset so simulated timestamps resemble the paper's (March 2003)
+_EPOCH_BASE = 1048087412
+
+#: source-line numbers quoted from the paper's ResSourceCode.c output
+_LINE_MASTER_WELCOME = 136
+_LINE_MASTER_BYE = 337
+_LINE_WORKER_WELCOME = 351
+_LINE_WORKER_BYE = 370
+
+
+@dataclass(frozen=True)
+class TraceMessage:
+    """One chronological output line."""
+
+    time: float
+    host: str
+    task_id: int
+    process_id: int
+    manifold: str          # "Master(port in)" or "Worker(event)"
+    line: int
+    text: str              # "Welcome" or "Bye"
+
+    def render(self, task_name: str = "mainprog", source: str = "ResSourceCode.c") -> str:
+        seconds = _EPOCH_BASE + int(self.time)
+        micros = int((self.time % 1.0) * 1_000_000)
+        label = (
+            f"{self.host} {self.task_id} {self.process_id} {seconds} {micros}\n"
+            f"  {task_name} {self.manifold} {source} {self.line}"
+        )
+        return f"{label} -> {self.text}"
+
+
+@dataclass(frozen=True)
+class MachinePoint:
+    """One step of the machines-in-use staircase."""
+
+    time: float
+    machines: int
+
+
+def trace_messages(run: DistributedRun) -> list[TraceMessage]:
+    """All Welcome/Bye messages of a run, in chronological order."""
+    messages: list[TraceMessage] = [
+        TraceMessage(
+            time=run.master_welcome,
+            host=run.master_host.name,
+            task_id=262146,
+            process_id=140,
+            manifold="Master(port in)",
+            line=_LINE_MASTER_WELCOME,
+            text="Welcome",
+        ),
+        TraceMessage(
+            time=run.master_bye,
+            host=run.master_host.name,
+            task_id=262146,
+            process_id=140,
+            manifold="Master(port in)",
+            line=_LINE_MASTER_BYE,
+            text="Bye",
+        ),
+    ]
+    for index, worker in enumerate(run.workers):
+        task_id = 262144 * (worker.task_id + 4)
+        process_id = 79 + index
+        messages.append(
+            TraceMessage(
+                time=worker.welcome,
+                host=worker.host.name,
+                task_id=task_id,
+                process_id=process_id,
+                manifold="Worker(event)",
+                line=_LINE_WORKER_WELCOME,
+                text="Welcome",
+            )
+        )
+        messages.append(
+            TraceMessage(
+                time=worker.bye,
+                host=worker.host.name,
+                task_id=task_id,
+                process_id=process_id,
+                manifold="Worker(event)",
+                line=_LINE_WORKER_BYE,
+                text="Bye",
+            )
+        )
+    return sorted(messages, key=lambda msg: msg.time)
+
+
+def render_trace(run: DistributedRun) -> str:
+    """The full chronological output in the paper's format."""
+    return "\n".join(msg.render() for msg in trace_messages(run))
+
+
+def machines_timeline(run: DistributedRun) -> list[MachinePoint]:
+    """Machines-in-use staircase derived from the Welcome/Bye messages.
+
+    A machine is in use while >= 1 of its process instances is alive.
+    The start-up machine is in use for the whole run: the first task
+    instance (housing ``Main`` and the master) exists from launch.
+    """
+    per_host: dict[str, list[tuple[float, int]]] = {}
+
+    def add(host: str, start: float, end: float) -> None:
+        per_host.setdefault(host, []).append((start, +1))
+        per_host[host].append((end, -1))
+
+    add(run.master_host.name, 0.0, run.elapsed_seconds)
+    for worker in run.workers:
+        add(worker.host.name, worker.welcome, worker.bye)
+
+    # per host: intervals where its live-process count > 0
+    events: list[tuple[float, int]] = []
+    for host, host_events in per_host.items():
+        host_events.sort(key=lambda e: (e[0], -e[1]))
+        count = 0
+        for time_point, delta in host_events:
+            was_positive = count > 0
+            count += delta
+            if not was_positive and count > 0:
+                events.append((time_point, +1))
+            elif was_positive and count == 0:
+                events.append((time_point, -1))
+
+    events.sort(key=lambda e: (e[0], -e[1]))
+    timeline: list[MachinePoint] = [MachinePoint(0.0, 0)]
+    machines = 0
+    for time_point, delta in events:
+        machines += delta
+        timeline.append(MachinePoint(time_point, machines))
+    return timeline
+
+
+def weighted_average_machines(
+    timeline: Sequence[MachinePoint], t_end: float
+) -> float:
+    """Time-weighted average of the machines-in-use staircase over
+    ``[0, t_end]`` — the paper's ``m`` column."""
+    if t_end <= 0:
+        raise ValueError(f"t_end must be positive, got {t_end}")
+    total = 0.0
+    for current, nxt in zip(timeline, list(timeline[1:]) + [None]):
+        start = min(current.time, t_end)
+        end = t_end if nxt is None else min(nxt.time, t_end)
+        if end > start:
+            total += current.machines * (end - start)
+    return total / t_end
+
+
+def ascii_timeline(
+    timeline: Sequence[MachinePoint],
+    t_end: float,
+    *,
+    width: int = 72,
+    height: int = 16,
+) -> str:
+    """A terminal rendering of Figure 1's ebb & flow staircase."""
+    if not timeline:
+        return "(empty timeline)"
+    peak = max(p.machines for p in timeline)
+    if peak == 0:
+        return "(no machines ever in use)"
+
+    def machines_at(t: float) -> int:
+        current = 0
+        for point in timeline:
+            if point.time <= t:
+                current = point.machines
+            else:
+                break
+        return current
+
+    columns = [
+        machines_at(t_end * (i + 0.5) / width) for i in range(width)
+    ]
+    rows = []
+    for level in range(height, 0, -1):
+        threshold = peak * level / height
+        row = "".join("#" if c >= threshold else " " for c in columns)
+        axis = f"{threshold:5.1f} |"
+        rows.append(axis + row)
+    rows.append("      +" + "-" * width)
+    rows.append(f"       0{'':{width - 12}}{t_end:8.1f}s")
+    return "\n".join(rows)

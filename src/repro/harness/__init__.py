@@ -1,0 +1,30 @@
+"""Experiment harness: regenerate every table and figure of §7.
+
+* :mod:`table1` — the full Table 1 sweep (st, ct, m, su; two
+  tolerances, levels 0..15, five-run averages);
+* :mod:`figures` — Figure 1 (ebb & flow) and Figures 2–5 (times,
+  speedups and machine counts vs level, per tolerance);
+* :mod:`report` — plain-text tables and terminal plots.
+"""
+
+from .report import render_linear_plot, render_log_plot, render_table
+from .table1 import Table1Experiment, Table1Row, render_table1
+from .figures import (
+    FigureSeries,
+    figure1_ebb_flow,
+    figure_speedup_machines,
+    figure_times,
+)
+
+__all__ = [
+    "FigureSeries",
+    "Table1Experiment",
+    "Table1Row",
+    "figure1_ebb_flow",
+    "figure_speedup_machines",
+    "figure_times",
+    "render_linear_plot",
+    "render_log_plot",
+    "render_table",
+    "render_table1",
+]

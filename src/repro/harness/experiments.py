@@ -1,0 +1,224 @@
+"""The experiment index, executable.
+
+DESIGN.md §4 maps every paper artifact to modules and bench targets;
+this module is that table as code: each experiment knows its id, what
+it reproduces, which bench regenerates it, and — for the quick-look
+path — how to produce a small summary without the full bench harness.
+
+``python -m repro experiments`` lists the index;
+``python -m repro experiments --run E1`` produces a quick summary.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+import numpy as np
+
+from repro.perf.costmodel import CostModel
+
+from .report import render_table
+
+__all__ = ["Experiment", "EXPERIMENTS", "get_experiment", "render_index"]
+
+
+@dataclass(frozen=True)
+class Experiment:
+    """One row of the per-experiment index."""
+
+    id: str
+    paper_artifact: str
+    summary: str
+    bench_target: str
+    modules: tuple[str, ...]
+    #: quick-look runner: (cost_model) -> printable text; None when the
+    #: experiment needs the full bench (e.g. real-parallel measurements)
+    quick: Optional[Callable[[CostModel], str]] = None
+
+
+def _quick_table1(model: CostModel) -> str:
+    from .table1 import Table1Experiment, render_table1
+
+    experiment = Table1Experiment(model, runs=3, seed=1)
+    rows = experiment.run_all(levels=[0, 5, 10, 15], tols=(1.0e-3,))
+    return render_table1(rows)
+
+
+def _quick_fig1(model: CostModel) -> str:
+    from .figures import figure1_ebb_flow
+    from .table1 import Table1Experiment
+
+    experiment = Table1Experiment(model, runs=1, seed=1)
+    return figure1_ebb_flow(experiment, level=15, tol=1.0e-3).rendered
+
+
+def _quick_times(tol: float, number: int):
+    def run(model: CostModel) -> str:
+        from .figures import figure_times
+        from .table1 import Table1Experiment
+
+        experiment = Table1Experiment(model, runs=2, seed=1)
+        rows = experiment.run_all(levels=range(0, 16, 3), tols=(tol,))
+        return figure_times(rows, tol, number).rendered
+
+    return run
+
+
+def _quick_speedup(tol: float, number: int):
+    def run(model: CostModel) -> str:
+        from .figures import figure_speedup_machines
+        from .table1 import Table1Experiment
+
+        experiment = Table1Experiment(model, runs=2, seed=1)
+        rows = experiment.run_all(levels=range(0, 16, 3), tols=(tol,))
+        return figure_speedup_machines(rows, tol, number).rendered
+
+    return run
+
+
+def _quick_trace(model: CostModel) -> str:
+    from repro.cluster.trace import render_trace
+
+    from .table1 import Table1Experiment
+
+    experiment = Table1Experiment(model, runs=1, seed=1)
+    run = experiment.simulate_concurrent_once(2, 1.0e-3, np.random.default_rng(6))
+    return render_trace(run)
+
+
+def _quick_overheads(model: CostModel) -> str:
+    from repro.cluster import MultiUserNoise, SimulationParams
+    from repro.perf import decompose_run
+
+    from .table1 import Table1Experiment
+
+    noisy = Table1Experiment(model, runs=1, seed=1)
+    quiet = Table1Experiment(
+        model, runs=1, seed=1,
+        params=SimulationParams(noise=MultiUserNoise.quiet()),
+    )
+    run = noisy.simulate_concurrent_once(15, 1.0e-3, np.random.default_rng(1))
+    twin = quiet.simulate_concurrent_once(15, 1.0e-3, np.random.default_rng(1))
+    report = decompose_run(run, twin)
+    rows = [[k, v] for k, v in report.as_dict().items()]
+    return render_table(["category", "value"], rows,
+                        title="Overhead decomposition, level 15")
+
+
+def _quick_sensitivity(model: CostModel) -> str:
+    from .sensitivity import render_sensitivity, sweep_sensitivity
+
+    return render_sensitivity(sweep_sensitivity(model, level=15, tol=1.0e-3))
+
+
+EXPERIMENTS: dict[str, Experiment] = {
+    e.id: e
+    for e in (
+        Experiment(
+            "E1", "Table 1",
+            "st, ct, m, su for two tolerances, levels 0-15, 5-run averages",
+            "benchmarks/bench_table1.py",
+            ("repro.harness.table1", "repro.cluster.simulator", "repro.perf.costmodel"),
+            _quick_table1,
+        ),
+        Experiment(
+            "E2", "Figure 1",
+            "ebb & flow: machines in use during a level-15 distributed run",
+            "benchmarks/bench_fig1_ebbflow.py",
+            ("repro.cluster.trace", "repro.harness.figures"),
+            _quick_fig1,
+        ),
+        Experiment(
+            "E3", "Figure 2",
+            "sequential/concurrent times vs level, tol 1e-3, log scale",
+            "benchmarks/bench_fig2to5_curves.py",
+            ("repro.harness.figures",),
+            _quick_times(1.0e-3, 2),
+        ),
+        Experiment(
+            "E4", "Figure 3",
+            "speedup and machines vs level, tol 1e-3",
+            "benchmarks/bench_fig2to5_curves.py",
+            ("repro.harness.figures",),
+            _quick_speedup(1.0e-3, 3),
+        ),
+        Experiment(
+            "E5", "Figure 4",
+            "sequential/concurrent times vs level, tol 1e-4, log scale",
+            "benchmarks/bench_fig2to5_curves.py",
+            ("repro.harness.figures",),
+            _quick_times(1.0e-4, 4),
+        ),
+        Experiment(
+            "E6", "Figure 5",
+            "speedup and machines vs level, tol 1e-4",
+            "benchmarks/bench_fig2to5_curves.py",
+            ("repro.harness.figures",),
+            _quick_speedup(1.0e-4, 5),
+        ),
+        Experiment(
+            "E7", "§6 output",
+            "the chronological Welcome/Bye listing of a distributed run",
+            "benchmarks/bench_trace_output.py",
+            ("repro.cluster.trace",),
+            _quick_trace,
+        ),
+        Experiment(
+            "E8", "§6/§7 claims on real hardware",
+            "bitwise sequential≡concurrent; real multiprocessing speedup",
+            "benchmarks/bench_real_parallel.py",
+            ("repro.restructured",),
+            None,  # requires real execution; see the bench
+        ),
+        Experiment(
+            "E9", "overhead decomposition + ablations",
+            "§7's three overhead categories; design-choice ablations",
+            "benchmarks/bench_ablation_overhead.py",
+            ("repro.perf.overhead", "repro.cluster.scenarios"),
+            _quick_overheads,
+        ),
+        Experiment(
+            "E10", "integrator ablation",
+            "adaptive ROS2 vs fixed-step theta-method baselines",
+            "benchmarks/bench_ablation_integrator.py",
+            ("repro.sparsegrid.theta",),
+            None,  # real solver runs; see the bench
+        ),
+        Experiment(
+            "E11", "coordination microbenchmark",
+            "the real runtime's per-worker protocol cost",
+            "benchmarks/bench_protocol_runtime.py",
+            ("repro.protocol",),
+            None,
+        ),
+        Experiment(
+            "E12", "sensitivity analysis",
+            "elasticity of ct to every modelled 2003 constant",
+            "benchmarks/bench_sensitivity.py",
+            ("repro.harness.sensitivity",),
+            _quick_sensitivity,
+        ),
+    )
+}
+
+
+def get_experiment(experiment_id: str) -> Experiment:
+    try:
+        return EXPERIMENTS[experiment_id.upper()]
+    except KeyError:
+        raise KeyError(
+            f"unknown experiment {experiment_id!r}; known: {sorted(EXPERIMENTS)}"
+        ) from None
+
+
+def render_index() -> str:
+    rows = [
+        [e.id, e.paper_artifact, e.summary, e.bench_target]
+        for e in EXPERIMENTS.values()
+    ]
+    return render_table(
+        ["id", "artifact", "what it reproduces", "bench target"],
+        rows,
+        title="Experiment index (see DESIGN.md §4 and EXPERIMENTS.md)",
+    )

@@ -1,0 +1,118 @@
+"""Regeneration of Figures 1–5.
+
+* **Figure 1** — the ebb & flow: machines in use versus elapsed time
+  during one distributed run at level 15 ("runs for 634 seconds and
+  sometimes uses 32 machines.  The weighted average of the machines
+  used in this case is 11").
+* **Figures 2 and 4** — average sequential and concurrent times versus
+  level, log scale, for tolerances 1.0e-3 and 1.0e-4.
+* **Figures 3 and 5** — average speedup and machine count versus level
+  for the two tolerances.
+
+Figures 2–5 "graphically show the contents of Table 1", so they are
+derived from :class:`~repro.harness.table1.Table1Row` sweeps.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+from repro.cluster.trace import (
+    ascii_timeline,
+    machines_timeline,
+    weighted_average_machines,
+)
+
+from .report import render_linear_plot, render_log_plot
+from .table1 import Table1Experiment, Table1Row
+
+__all__ = [
+    "FigureSeries",
+    "figure1_ebb_flow",
+    "figure_times",
+    "figure_speedup_machines",
+]
+
+
+@dataclass
+class FigureSeries:
+    """Data + rendering for one figure."""
+
+    name: str
+    x: list[float]
+    series: dict[str, list[float]] = field(default_factory=dict)
+    rendered: str = ""
+
+    def as_rows(self) -> list[list[float]]:
+        keys = list(self.series)
+        return [
+            [xv] + [self.series[k][i] for k in keys] for i, xv in enumerate(self.x)
+        ]
+
+
+def figure1_ebb_flow(
+    experiment: Table1Experiment,
+    *,
+    level: int = 15,
+    tol: float = 1.0e-3,
+    seed: int = 634,
+) -> FigureSeries:
+    """One simulated run's machines-in-use staircase (Figure 1)."""
+    rng = np.random.default_rng(seed)
+    run = experiment.simulate_concurrent_once(level, tol, rng)
+    timeline = machines_timeline(run)
+    t_end = run.elapsed_seconds
+    avg = weighted_average_machines(timeline, t_end)
+    peak = max(p.machines for p in timeline)
+    fig = FigureSeries(
+        name=f"Figure 1: ebb & flow, level {level}, tol {tol:g}",
+        x=[p.time for p in timeline],
+        series={"machines": [float(p.machines) for p in timeline]},
+    )
+    fig.rendered = (
+        f"{fig.name}\n"
+        f"run length {t_end:.1f}s, peak {peak} machines, "
+        f"weighted average {avg:.1f} machines "
+        f"(paper: 634s, peak 32, weighted average 11)\n"
+        + ascii_timeline(timeline, t_end)
+    )
+    return fig
+
+
+def figure_times(rows: Sequence[Table1Row], tol: float, figure_number: int) -> FigureSeries:
+    """Figures 2 / 4: st and ct versus level, log scale."""
+    selected = sorted((r for r in rows if r.tol == tol), key=lambda r: r.level)
+    fig = FigureSeries(
+        name=f"Figure {figure_number}: elapsed times vs level, tol {tol:g} (log scale)",
+        x=[float(r.level) for r in selected],
+        series={
+            "sequential st": [r.st for r in selected],
+            "concurrent ct": [r.ct for r in selected],
+        },
+    )
+    fig.rendered = render_log_plot(
+        fig.x, fig.series, title=fig.name, ylabel="seconds"
+    )
+    return fig
+
+
+def figure_speedup_machines(
+    rows: Sequence[Table1Row], tol: float, figure_number: int
+) -> FigureSeries:
+    """Figures 3 / 5: speedup and machine count versus level."""
+    selected = sorted((r for r in rows if r.tol == tol), key=lambda r: r.level)
+    fig = FigureSeries(
+        name=f"Figure {figure_number}: speedup and machines vs level, tol {tol:g}",
+        x=[float(r.level) for r in selected],
+        series={
+            "speedup su": [r.su for r in selected],
+            "machines m": [r.m for r in selected],
+        },
+    )
+    fig.rendered = render_linear_plot(
+        fig.x, fig.series, title=fig.name, ylabel="speedup / machines"
+    )
+    return fig

@@ -1,0 +1,125 @@
+"""Plain-text rendering of tables and plots for the benchmark harness."""
+
+from __future__ import annotations
+
+import math
+from typing import Mapping, Sequence
+
+__all__ = ["render_table", "render_log_plot", "render_linear_plot"]
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    *,
+    title: str = "",
+) -> str:
+    """A padded, pipe-separated text table."""
+    text_rows = [[_fmt(cell) for cell in row] for row in rows]
+    widths = [
+        max(len(headers[i]), *(len(r[i]) for r in text_rows)) if text_rows else len(headers[i])
+        for i in range(len(headers))
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(" | ".join(h.rjust(w) for h, w in zip(headers, widths)))
+    lines.append("-+-".join("-" * w for w in widths))
+    for row in text_rows:
+        lines.append(" | ".join(cell.rjust(w) for cell, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def _fmt(cell: object) -> str:
+    if isinstance(cell, float):
+        if cell == 0:
+            return "0.00"
+        if abs(cell) >= 1000 or abs(cell) < 0.01:
+            return f"{cell:.3g}"
+        return f"{cell:.2f}"
+    return str(cell)
+
+
+def _plot(
+    x: Sequence[float],
+    series: Mapping[str, Sequence[float]],
+    transform,
+    *,
+    width: int,
+    height: int,
+    title: str,
+    ylabel: str,
+) -> str:
+    """Shared scatter-plot renderer; ``transform`` maps y to plot space."""
+    markers = "o+x*#@%&"
+    points: list[tuple[float, float, str]] = []
+    for idx, (name, ys) in enumerate(series.items()):
+        marker = markers[idx % len(markers)]
+        for xv, yv in zip(x, ys):
+            ty = transform(yv)
+            if ty is not None:
+                points.append((float(xv), ty, marker))
+    if not points:
+        return f"{title}\n(no data)"
+    xs = [p[0] for p in points]
+    ys = [p[1] for p in points]
+    x_lo, x_hi = min(xs), max(xs)
+    y_lo, y_hi = min(ys), max(ys)
+    x_span = (x_hi - x_lo) or 1.0
+    y_span = (y_hi - y_lo) or 1.0
+    canvas = [[" "] * width for _ in range(height)]
+    for xv, yv, marker in points:
+        col = int((xv - x_lo) / x_span * (width - 1))
+        row = height - 1 - int((yv - y_lo) / y_span * (height - 1))
+        canvas[row][col] = marker
+    lines = [title]
+    for idx, (name, _) in enumerate(series.items()):
+        lines.append(f"  {markers[idx % len(markers)]} = {name}")
+    lines.append(f"{ylabel} (top={_fmt(_untransform_label(y_hi, transform))}, "
+                 f"bottom={_fmt(_untransform_label(y_lo, transform))})")
+    for row in canvas:
+        lines.append("|" + "".join(row))
+    lines.append("+" + "-" * width)
+    lines.append(f" x: {x_lo:g} .. {x_hi:g}")
+    return "\n".join(lines)
+
+
+def _untransform_label(value: float, transform) -> float:
+    # log plots transform with log10; recover the label value
+    if getattr(transform, "_is_log", False):
+        return 10.0 ** value
+    return value
+
+
+def render_log_plot(
+    x: Sequence[float],
+    series: Mapping[str, Sequence[float]],
+    *,
+    width: int = 64,
+    height: int = 20,
+    title: str = "",
+    ylabel: str = "y (log scale)",
+) -> str:
+    """Semilog-y scatter plot ("Because of the wide range ... we use the
+    logarithmic scale in Figures 2 and 4")."""
+
+    def transform(y: float):
+        return math.log10(y) if y > 0 else None
+
+    transform._is_log = True  # type: ignore[attr-defined]
+    return _plot(x, series, transform, width=width, height=height, title=title, ylabel=ylabel)
+
+
+def render_linear_plot(
+    x: Sequence[float],
+    series: Mapping[str, Sequence[float]],
+    *,
+    width: int = 64,
+    height: int = 20,
+    title: str = "",
+    ylabel: str = "y",
+) -> str:
+    """Linear-scale scatter plot (Figures 3 and 5)."""
+    return _plot(
+        x, series, lambda y: y, width=width, height=height, title=title, ylabel=ylabel
+    )

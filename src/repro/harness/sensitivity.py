@@ -1,0 +1,162 @@
+"""Sensitivity of the simulated results to the modelled 2003 constants.
+
+The simulator's timing constants (startup, fork, handshake, latency,
+bandwidth) are plausible-for-2003 values validated against the paper's
+small-level concurrent times — but they are modelled, not measured.
+This module quantifies how much each constant actually matters:
+
+* an **elasticity** per knob: ``d log(ct) / d log(knob)`` estimated
+  from a halve/double sweep (0 = irrelevant, 1 = proportional);
+* a **robustness check** for the paper's qualitative conclusions: does
+  the speedup crossover stay in a sane band and does the level-15
+  speedup survive when every knob is perturbed?
+
+Used by ``benchmarks/bench_sensitivity.py`` and the test suite.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from dataclasses import dataclass
+from typing import Callable, Optional, Sequence
+
+import numpy as np
+
+from repro.cluster.host import Host, paper_cluster
+from repro.cluster.noise import MultiUserNoise
+from repro.cluster.simulator import SimulationParams, simulate_distributed
+from repro.perf.costmodel import CostModel
+
+from .report import render_table
+
+__all__ = ["Knob", "KNOBS", "SensitivityResult", "sweep_sensitivity", "render_sensitivity"]
+
+
+@dataclass(frozen=True)
+class Knob:
+    """One tunable constant of the simulation."""
+
+    name: str
+    apply: Callable[[SimulationParams, float], SimulationParams]
+    base_of: Callable[[SimulationParams], float]
+
+
+def _scale_field(field_name: str) -> Knob:
+    def apply(params: SimulationParams, factor: float) -> SimulationParams:
+        return dataclasses.replace(
+            params, **{field_name: getattr(params, field_name) * factor}
+        )
+
+    return Knob(
+        name=field_name,
+        apply=apply,
+        base_of=lambda params: getattr(params, field_name),
+    )
+
+
+def _scale_bandwidth(params: SimulationParams, factor: float) -> SimulationParams:
+    network = dataclasses.replace(
+        params.network, bandwidth_mbps=params.network.bandwidth_mbps * factor
+    )
+    return dataclasses.replace(params, network=network)
+
+
+KNOBS: tuple[Knob, ...] = (
+    _scale_field("startup_seconds"),
+    _scale_field("fork_seconds"),
+    _scale_field("handshake_seconds"),
+    _scale_field("event_latency_seconds"),
+    Knob(
+        name="bandwidth_mbps",
+        apply=_scale_bandwidth,
+        base_of=lambda p: p.network.bandwidth_mbps,
+    ),
+)
+
+
+@dataclass(frozen=True)
+class SensitivityResult:
+    """Halve/double sweep of one knob."""
+
+    knob: str
+    base_value: float
+    ct_base: float
+    ct_halved: float
+    ct_doubled: float
+
+    @property
+    def elasticity(self) -> float:
+        """d log(ct) / d log(knob) over the [x0.5, x2] span."""
+        return math.log(self.ct_doubled / self.ct_halved) / math.log(4.0)
+
+    @property
+    def spread(self) -> float:
+        """Relative ct range across the sweep."""
+        return (self.ct_doubled - self.ct_halved) / self.ct_base
+
+
+def _simulate_ct(
+    cost_model: CostModel,
+    level: int,
+    tol: float,
+    params: SimulationParams,
+    cluster: Sequence[Host],
+    seed: int,
+) -> float:
+    run = simulate_distributed(
+        [cost_model.level_costs(level, tol)],
+        cluster,
+        params,
+        np.random.default_rng(seed),
+        master_prolongation_ref_seconds=cost_model.prolongation_seconds(level),
+    )
+    return run.elapsed_seconds
+
+
+def sweep_sensitivity(
+    cost_model: CostModel,
+    level: int = 15,
+    tol: float = 1.0e-3,
+    *,
+    cluster: Optional[Sequence[Host]] = None,
+    knobs: Sequence[Knob] = KNOBS,
+    seed: int = 7,
+) -> list[SensitivityResult]:
+    """Halve/double each knob in turn (noise off for determinism)."""
+    cluster = list(cluster) if cluster is not None else paper_cluster()
+    base_params = SimulationParams(noise=MultiUserNoise.quiet())
+    ct_base = _simulate_ct(cost_model, level, tol, base_params, cluster, seed)
+    results = []
+    for knob in knobs:
+        halved = knob.apply(base_params, 0.5)
+        doubled = knob.apply(base_params, 2.0)
+        results.append(
+            SensitivityResult(
+                knob=knob.name,
+                base_value=knob.base_of(base_params),
+                ct_base=ct_base,
+                ct_halved=_simulate_ct(cost_model, level, tol, halved, cluster, seed),
+                ct_doubled=_simulate_ct(cost_model, level, tol, doubled, cluster, seed),
+            )
+        )
+    return results
+
+
+def render_sensitivity(results: Sequence[SensitivityResult], title: str = "") -> str:
+    rows = [
+        [
+            r.knob,
+            f"{r.base_value:g}",
+            r.ct_halved,
+            r.ct_base,
+            r.ct_doubled,
+            f"{r.elasticity:+.3f}",
+        ]
+        for r in sorted(results, key=lambda r: -abs(r.elasticity))
+    ]
+    return render_table(
+        ["knob", "base", "ct @x0.5", "ct @x1", "ct @x2", "elasticity"],
+        rows,
+        title=title or "Sensitivity of the concurrent time to the modelled constants",
+    )

@@ -1,0 +1,137 @@
+"""CONFIG — the runtime-configuration stage: mapping tasks onto hosts.
+
+The final stage of application construction assigns task instances to
+machines.  The input is the brace notation of the paper::
+
+    {host host1 diplice.sen.cwi.nl}
+    {host host2 alboka.sen.cwi.nl}
+    {locus mainprog $host1 $host2}
+
+* ``{host <var> <hostname>}`` binds a variable to a machine name;
+* ``{locus <task> $v1 $v2 ...}`` states that instances of the task may
+  be started on any of those machines.
+
+The :class:`HostMapper` realizes the policy: the first task instance
+runs on the start-up machine; further instances are assigned the first
+locus host with free capacity (each paper host is a single-processor
+workstation ⇒ capacity one task instance at a time, configurable).
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import Optional
+
+from .errors import ConfigError
+from .mlink import parse_braces
+from .task import TaskInstance
+
+__all__ = ["ConfigSpec", "parse_config", "HostMapper"]
+
+
+@dataclass
+class ConfigSpec:
+    """Parsed CONFIG input."""
+
+    hosts: dict[str, str] = field(default_factory=dict)  # var -> hostname
+    loci: dict[str, list[str]] = field(default_factory=dict)  # task -> hostnames
+
+    def locus_hosts(self, task_name: str) -> list[str]:
+        try:
+            return list(self.loci[task_name])
+        except KeyError:
+            raise ConfigError(f"no {{locus}} declared for task {task_name!r}") from None
+
+
+def parse_config(text: str) -> ConfigSpec:
+    """Parse CONFIG text into a :class:`ConfigSpec`."""
+    spec = ConfigSpec()
+    for expr in parse_braces(text):
+        atoms = expr.atoms()
+        if expr.head == "host":
+            if len(atoms) != 3:
+                raise ConfigError(f"{{host}} expects a variable and a hostname: {atoms!r}")
+            _, var, hostname = atoms
+            if var in spec.hosts:
+                raise ConfigError(f"host variable {var!r} bound twice")
+            spec.hosts[var] = hostname
+        elif expr.head == "locus":
+            if len(atoms) < 3:
+                raise ConfigError(f"{{locus}} expects a task and at least one host: {atoms!r}")
+            task, refs = atoms[1], atoms[2:]
+            resolved = []
+            for ref in refs:
+                if ref.startswith("$"):
+                    var = ref[1:]
+                    if var not in spec.hosts:
+                        raise ConfigError(f"{{locus}} references unbound host variable {ref}")
+                    resolved.append(spec.hosts[var])
+                else:
+                    resolved.append(ref)
+            spec.loci.setdefault(task, []).extend(resolved)
+        else:
+            raise ConfigError(f"unknown CONFIG clause {{{expr.head} ...}}")
+    return spec
+
+
+class HostMapper:
+    """Assigns task instances to machines per a :class:`ConfigSpec`.
+
+    ``startup_host`` plays the role of "the machine we are sitting
+    behind": it always receives the first task instance.  Every other
+    host accepts at most ``capacity`` concurrent task instances
+    (single-processor workstations ⇒ 1).
+    """
+
+    def __init__(
+        self,
+        spec: ConfigSpec,
+        startup_host: str,
+        capacity: int = 1,
+    ) -> None:
+        if capacity < 1:
+            raise ConfigError(f"host capacity must be >= 1, got {capacity}")
+        self.spec = spec
+        self.startup_host = startup_host
+        self.capacity = capacity
+        self._lock = threading.Lock()
+        self._occupancy: dict[str, int] = {}
+        self._assignments: dict[int, str] = {}  # task instance id -> hostname
+        self._startup_used = False
+
+    def assign(self, task: TaskInstance) -> str:
+        """Choose a machine for a freshly forked task instance."""
+        with self._lock:
+            if not self._startup_used:
+                self._startup_used = True
+                return self._take_locked(task, self.startup_host)
+            for hostname in self.spec.locus_hosts(task.task_name):
+                if self._occupancy.get(hostname, 0) < self.capacity:
+                    return self._take_locked(task, hostname)
+            raise ConfigError(
+                f"no host with free capacity for task instance {task.name}; "
+                f"locus = {self.spec.locus_hosts(task.task_name)}"
+            )
+
+    def _take_locked(self, task: TaskInstance, hostname: str) -> str:
+        self._occupancy[hostname] = self._occupancy.get(hostname, 0) + 1
+        self._assignments[task.id] = hostname
+        task.host = hostname
+        return hostname
+
+    def free(self, task: TaskInstance) -> None:
+        """Release the machine of a dead task instance."""
+        with self._lock:
+            hostname = self._assignments.pop(task.id, None)
+            if hostname is None:
+                return
+            self._occupancy[hostname] = max(0, self._occupancy.get(hostname, 0) - 1)
+
+    def host_of(self, task: TaskInstance) -> Optional[str]:
+        with self._lock:
+            return self._assignments.get(task.id)
+
+    def hosts_in_use(self) -> list[str]:
+        with self._lock:
+            return sorted(h for h, n in self._occupancy.items() if n > 0)

@@ -1,0 +1,271 @@
+"""Events and per-process event memory.
+
+In the IWIM model a process raises *events* into the environment; every
+process that can observe the source receives an *event occurrence* — the
+pair ``(event, source)`` — in its private *event memory*.  A coordinator
+reacts to occurrences by preempting its current state and transitioning
+to a state whose label matches.
+
+This module implements:
+
+* :class:`Event` — an interned event name.
+* :class:`EventOccurrence` — an event together with the process that
+  raised it.
+* :class:`EventMemory` — the thread-safe occurrence store owned by each
+  coordinator process, supporting the declarative statements the paper's
+  protocol uses: ``save`` (retain unmatched occurrences), ``ignore``
+  (drop named occurrences on block exit) and ``priority`` (order the
+  choice among simultaneously available occurrences).
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Callable, Iterable, Optional
+
+from .errors import EventError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .process import ProcessBase
+
+__all__ = [
+    "Event",
+    "EventOccurrence",
+    "EventMemory",
+    "BEGIN",
+    "END",
+]
+
+
+class Event:
+    """An event name.
+
+    Events are interned: constructing two events with the same name in
+    the same namespace yields objects that compare (and hash) equal, so
+    the protocol source and the worker wrappers can both say
+    ``Event("death_worker")`` and mean the same thing.  Distinct *local*
+    events (such as the ``death_worker`` event declared locally in
+    ``Create_Worker_Pool``) are created with :meth:`local`, which gives
+    the event a unique namespace.
+    """
+
+    __slots__ = ("name", "namespace")
+
+    _local_counter = itertools.count()
+
+    def __init__(self, name: str, namespace: str = "") -> None:
+        if not name or not isinstance(name, str):
+            raise EventError(f"event name must be a non-empty string, got {name!r}")
+        self.name = name
+        self.namespace = namespace
+
+    @classmethod
+    def local(cls, name: str) -> "Event":
+        """Create a fresh event distinct from any other event of the same name."""
+        return cls(name, namespace=f"local#{next(cls._local_counter)}")
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, Event)
+            and self.name == other.name
+            and self.namespace == other.namespace
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.name, self.namespace))
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        if self.namespace:
+            return f"Event({self.name!r}@{self.namespace})"
+        return f"Event({self.name!r})"
+
+
+#: The predefined high-priority event posted automatically on block entry.
+BEGIN = Event("begin")
+#: The conventional terminal event used by several built-in blocks.
+END = Event("end")
+
+
+@dataclass(frozen=True)
+class EventOccurrence:
+    """An event together with the process instance that raised it.
+
+    ``source`` is ``None`` for occurrences posted by the runtime itself
+    (notably the automatic ``begin`` posting on block entry) and for
+    self-posted transitions (``post(...)`` in the paper's notation).
+    """
+
+    event: Event
+    source: Optional["ProcessBase"] = None
+    seq: int = field(default_factory=itertools.count().__next__, compare=False)
+
+    def matches(self, event: Event, source: Optional["ProcessBase"] = None) -> bool:
+        """True when this occurrence matches a state label.
+
+        A label may constrain just the event, or the ``event.source``
+        pair (MANIFOLD's ``e.p`` label form).
+        """
+        if self.event != event:
+            return False
+        if source is not None and self.source is not source:
+            return False
+        return True
+
+
+class EventMemory:
+    """Thread-safe store of event occurrences for one coordinator.
+
+    The memory is a FIFO multiset: occurrences are recorded in arrival
+    order; when several occurrences can preempt the current state, the
+    coordinator picks the one whose label has the highest declared
+    priority, breaking ties by arrival order (matching the paper's
+    ``priority create_worker > rendezvous`` declaration).
+    """
+
+    def __init__(self, owner_name: str = "?") -> None:
+        self._owner_name = owner_name
+        self._lock = threading.Lock()
+        self._cond = threading.Condition(self._lock)
+        self._occurrences: list[EventOccurrence] = []
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    # producer side
+    # ------------------------------------------------------------------
+    def deliver(self, occurrence: EventOccurrence) -> None:
+        """Record an occurrence (called when an observed process raises)."""
+        with self._cond:
+            if self._closed:
+                return
+            self._occurrences.append(occurrence)
+            self._cond.notify_all()
+
+    def post(self, event: Event, source: Optional["ProcessBase"] = None) -> None:
+        """Post an occurrence directly (MANIFOLD's ``post`` primitive)."""
+        self.deliver(EventOccurrence(event, source))
+
+    # ------------------------------------------------------------------
+    # consumer side
+    # ------------------------------------------------------------------
+    def snapshot(self) -> list[EventOccurrence]:
+        """A copy of the pending occurrences, in arrival order."""
+        with self._lock:
+            return list(self._occurrences)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._occurrences)
+
+    def take_match(
+        self,
+        matcher: Callable[[EventOccurrence], Optional[int]],
+    ) -> Optional[EventOccurrence]:
+        """Remove and return the best pending occurrence, if any.
+
+        ``matcher`` maps an occurrence to a priority rank (higher wins)
+        or ``None`` when the occurrence does not match any label.  Among
+        equal ranks the earliest arrival wins.
+        """
+        with self._lock:
+            best: Optional[EventOccurrence] = None
+            best_rank = None
+            for occ in self._occurrences:
+                rank = matcher(occ)
+                if rank is None:
+                    continue
+                if best_rank is None or rank > best_rank:
+                    best, best_rank = occ, rank
+            if best is not None:
+                self._occurrences.remove(best)
+            return best
+
+    def wait_for_match(
+        self,
+        matcher: Callable[[EventOccurrence], Optional[int]],
+        timeout: Optional[float] = None,
+        extra_predicate: Optional[Callable[[], bool]] = None,
+    ) -> Optional[EventOccurrence]:
+        """Block until a matching occurrence arrives (or return ``None``).
+
+        ``extra_predicate``, when given, also wakes the waiter; this is
+        how blocking primitives such as ``terminated(p)`` share the wait:
+        the call returns ``None`` when the predicate fired first.
+        """
+        deadline = None if timeout is None else threading.TIMEOUT_MAX
+        with self._cond:
+            while True:
+                best = self._take_match_locked(matcher)
+                if best is not None:
+                    return best
+                if extra_predicate is not None and extra_predicate():
+                    return None
+                if self._closed:
+                    return None
+                if not self._cond.wait(timeout if timeout is not None else deadline):
+                    if timeout is not None:
+                        return None
+
+    def _take_match_locked(
+        self, matcher: Callable[[EventOccurrence], Optional[int]]
+    ) -> Optional[EventOccurrence]:
+        best: Optional[EventOccurrence] = None
+        best_rank = None
+        for occ in self._occurrences:
+            rank = matcher(occ)
+            if rank is None:
+                continue
+            if best_rank is None or rank > best_rank:
+                best, best_rank = occ, rank
+        if best is not None:
+            self._occurrences.remove(best)
+        return best
+
+    def notify(self) -> None:
+        """Wake any waiter so it can re-evaluate its extra predicate."""
+        with self._cond:
+            self._cond.notify_all()
+
+    # ------------------------------------------------------------------
+    # block-scope maintenance
+    # ------------------------------------------------------------------
+    def discard(self, events: Iterable[Event]) -> int:
+        """Drop all pending occurrences of the given events.
+
+        Implements the ``ignore death`` declarative statement: death
+        occurrences are removed from memory on departure from the block.
+        Returns the number of occurrences dropped.
+        """
+        targets = set(events)
+        with self._lock:
+            before = len(self._occurrences)
+            self._occurrences = [
+                occ for occ in self._occurrences if occ.event not in targets
+            ]
+            return before - len(self._occurrences)
+
+    def discard_where(
+        self, predicate: Callable[[EventOccurrence], bool]
+    ) -> int:
+        """Drop all pending occurrences satisfying ``predicate``."""
+        with self._lock:
+            before = len(self._occurrences)
+            self._occurrences = [
+                occ for occ in self._occurrences if not predicate(occ)
+            ]
+            return before - len(self._occurrences)
+
+    def close(self) -> None:
+        """Shut the memory down; pending and future waiters return ``None``."""
+        with self._cond:
+            self._closed = True
+            self._cond.notify_all()
+
+    @property
+    def closed(self) -> bool:
+        with self._lock:
+            return self._closed
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"EventMemory({self._owner_name}, pending={len(self)})"

@@ -1,0 +1,213 @@
+"""MLINK — the task-composition (link) stage.
+
+MANIFOLD bundles process instances (threads) into *task instances*
+(operating-system-level processes).  The mapping is declared in a link
+file, parsed here.  The grammar is the brace notation shown in the
+paper's ``mainprog.mlink``::
+
+    {task *
+      {perpetual}
+      {load 1}
+      {weight Master 1}
+      {weight Worker 1}
+    }
+    {task mainprog
+      {include mainprog.o}
+      {include protocolMW.o}
+    }
+
+Semantics reproduced from §6 of the paper:
+
+* a task instance is *full* when its load exceeds the declared ``load``
+  limit — a new resident of weight *w* fits iff ``load + w <= limit``;
+* ``weight <Definition> <w>`` assigns the bundling weight of instances
+  of a manifold definition (default weight 0: coordinators are free);
+* ``perpetual`` keeps an emptied task instance alive so it can welcome
+  a later worker instead of forcing a fresh task (and hence, in a
+  distributed run, possibly a fresh machine) to be forked;
+* changing ``load`` from 1 to *n* re-bundles up to *n* unit-weight
+  workers into one task instance — the paper's switch from the
+  distributed to the parallel configuration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Optional
+
+from .errors import LinkError
+
+__all__ = ["SExpr", "parse_braces", "TaskPattern", "LinkSpec", "parse_mlink"]
+
+
+# ----------------------------------------------------------------------
+# brace-expression parser
+# ----------------------------------------------------------------------
+@dataclass
+class SExpr:
+    """A parsed brace expression: a head atom plus atom/expression items."""
+
+    items: list  # str | SExpr
+
+    @property
+    def head(self) -> str:
+        if not self.items or not isinstance(self.items[0], str):
+            raise LinkError(f"expression has no head atom: {self.items!r}")
+        return self.items[0]
+
+    def atoms(self) -> list[str]:
+        return [i for i in self.items if isinstance(i, str)]
+
+    def children(self) -> list["SExpr"]:
+        return [i for i in self.items if isinstance(i, SExpr)]
+
+
+def _tokenize(text: str) -> Iterator[str]:
+    token = []
+    for line in text.splitlines():
+        stripped = line.split("#", 1)[0]
+        for ch in stripped:
+            if ch in "{}":
+                if token:
+                    yield "".join(token)
+                    token = []
+                yield ch
+            elif ch.isspace():
+                if token:
+                    yield "".join(token)
+                    token = []
+            else:
+                token.append(ch)
+        if token:
+            yield "".join(token)
+            token = []
+
+
+def parse_braces(text: str) -> list[SExpr]:
+    """Parse the brace notation shared by MLINK and CONFIG files."""
+    stack: list[list] = [[]]
+    for tok in _tokenize(text):
+        if tok == "{":
+            stack.append([])
+        elif tok == "}":
+            if len(stack) == 1:
+                raise LinkError("unbalanced '}' in spec")
+            done = stack.pop()
+            stack[-1].append(SExpr(done))
+        else:
+            stack[-1].append(tok)
+    if len(stack) != 1:
+        raise LinkError("unbalanced '{' in spec")
+    top = stack[0]
+    bad = [i for i in top if not isinstance(i, SExpr)]
+    if bad:
+        raise LinkError(f"stray atoms at top level: {bad!r}")
+    return list(top)
+
+
+# ----------------------------------------------------------------------
+# link-spec model
+# ----------------------------------------------------------------------
+@dataclass
+class TaskPattern:
+    """One ``{task ...}`` clause."""
+
+    name: str
+    perpetual: bool = False
+    load_limit: float = 1.0
+    weights: dict[str, float] = field(default_factory=dict)
+    includes: list[str] = field(default_factory=list)
+
+    def weight_of(self, definition_name: str) -> float:
+        """Bundling weight of instances of a manifold definition.
+
+        Definitions without a declared weight are weightless: they ride
+        along in whatever task instance is convenient.
+        """
+        return self.weights.get(definition_name, 0.0)
+
+    def matches(self, task_name: str) -> bool:
+        return self.name == "*" or self.name == task_name
+
+
+@dataclass
+class LinkSpec:
+    """The parsed link file: ordered task patterns."""
+
+    patterns: list[TaskPattern] = field(default_factory=list)
+
+    def pattern_for(self, task_name: str) -> TaskPattern:
+        """Effective pattern for a task name — later clauses refine
+        earlier ones, with ``*`` as the base layer."""
+        merged: Optional[TaskPattern] = None
+        for pattern in self.patterns:
+            if not pattern.matches(task_name):
+                continue
+            if merged is None:
+                merged = TaskPattern(
+                    name=task_name,
+                    perpetual=pattern.perpetual,
+                    load_limit=pattern.load_limit,
+                    weights=dict(pattern.weights),
+                    includes=list(pattern.includes),
+                )
+            else:
+                merged.perpetual = merged.perpetual or pattern.perpetual
+                if pattern.load_limit != 1.0:
+                    merged.load_limit = pattern.load_limit
+                merged.weights.update(pattern.weights)
+                merged.includes.extend(pattern.includes)
+        if merged is None:
+            merged = TaskPattern(name=task_name)
+        return merged
+
+    @property
+    def task_names(self) -> list[str]:
+        return [p.name for p in self.patterns if p.name != "*"]
+
+
+def parse_mlink(text: str) -> LinkSpec:
+    """Parse MLINK input text into a :class:`LinkSpec`."""
+    spec = LinkSpec()
+    for expr in parse_braces(text):
+        if expr.head != "task":
+            raise LinkError(f"expected {{task ...}} clause, got {{{expr.head} ...}}")
+        atoms = expr.atoms()
+        if len(atoms) < 2:
+            raise LinkError("{task} clause missing a task name or '*'")
+        pattern = TaskPattern(name=atoms[1])
+        for clause in expr.children():
+            head = clause.head
+            args = clause.atoms()[1:]
+            if head == "perpetual":
+                pattern.perpetual = True
+            elif head == "load":
+                if len(args) != 1:
+                    raise LinkError(f"{{load}} expects one number, got {args!r}")
+                pattern.load_limit = _number(args[0], "load")
+            elif head == "weight":
+                if len(args) != 2:
+                    raise LinkError(
+                        f"{{weight}} expects a definition name and a number, got {args!r}"
+                    )
+                pattern.weights[args[0]] = _number(args[1], "weight")
+            elif head == "include":
+                if len(args) != 1:
+                    raise LinkError(f"{{include}} expects one object file, got {args!r}")
+                pattern.includes.append(args[0])
+            else:
+                raise LinkError(f"unknown {{task}} directive {{{head} ...}}")
+        spec.patterns.append(pattern)
+    if not spec.patterns:
+        raise LinkError("link spec declares no {task} clauses")
+    return spec
+
+
+def _number(text: str, what: str) -> float:
+    try:
+        value = float(text)
+    except ValueError:
+        raise LinkError(f"{{{what}}} argument {text!r} is not a number") from None
+    if value < 0:
+        raise LinkError(f"{{{what}}} must be non-negative, got {value}")
+    return value

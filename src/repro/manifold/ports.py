@@ -1,0 +1,203 @@
+"""Ports — the only openings in a process's bounding walls.
+
+IWIM treats processes as black boxes that *only* read from their own
+input ports and write to their own output ports; all wiring between
+ports is done from the outside by a coordinator.  This module implements
+that contract:
+
+* an **input port** merges the units arriving over all streams currently
+  attached to it, in global FIFO (unit sequence) order;
+* an **output port** replicates every written unit into all streams
+  currently attached to it, and blocks when nothing is attached yet (the
+  producer cannot know — or care — whether its coordinator has wired it
+  up already);
+* attaching and detaching streams is reserved to the coordination layer
+  (:mod:`repro.manifold.streams`); worker code never sees a stream.
+"""
+
+from __future__ import annotations
+
+import enum
+import threading
+from typing import TYPE_CHECKING, Optional
+
+from .errors import PortError
+from .units import Unit
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .process import ProcessBase
+    from .streams import Stream
+
+__all__ = ["PortDirection", "Port", "STANDARD_IN", "STANDARD_OUT", "STANDARD_ERR"]
+
+
+class PortDirection(enum.Enum):
+    """Whether the owning process reads from or writes to the port."""
+
+    IN = "in"
+    OUT = "out"
+
+
+#: Conventional names for the three ports every process has by default.
+STANDARD_IN = "input"
+STANDARD_OUT = "output"
+STANDARD_ERR = "error"
+
+
+class Port:
+    """One named opening on one process instance.
+
+    All blocking calls are interruptible: :meth:`interrupt` wakes any
+    waiter with a :class:`PortError`, which the runtime uses to unwind
+    worker threads at shutdown, and which the state machinery uses to
+    preempt a coordinator blocked on a port operation.
+    """
+
+    def __init__(
+        self,
+        owner: "ProcessBase",
+        name: str,
+        direction: PortDirection,
+    ) -> None:
+        self.owner = owner
+        self.name = name
+        self.direction = direction
+        self._lock = threading.Lock()
+        self._cond = threading.Condition(self._lock)
+        self._streams: list["Stream"] = []
+        self._interrupted = False
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    # wiring (coordinator side)
+    # ------------------------------------------------------------------
+    def attach(self, stream: "Stream") -> None:
+        """Attach a stream end to this port (coordination layer only)."""
+        with self._cond:
+            if self._closed:
+                raise PortError(f"{self!r} is closed")
+            self._streams.append(stream)
+            self._cond.notify_all()
+
+    def detach(self, stream: "Stream") -> None:
+        """Detach a stream end from this port (coordination layer only)."""
+        with self._cond:
+            try:
+                self._streams.remove(stream)
+            except ValueError:
+                pass
+            self._cond.notify_all()
+
+    def attached_streams(self) -> list["Stream"]:
+        """Snapshot of the streams currently attached (for tests/traces)."""
+        with self._lock:
+            return list(self._streams)
+
+    def notify(self) -> None:
+        """Wake blocked readers/writers to re-check state."""
+        with self._cond:
+            self._cond.notify_all()
+
+    # ------------------------------------------------------------------
+    # I/O (worker side)
+    # ------------------------------------------------------------------
+    def write(self, payload: object, timeout: Optional[float] = None) -> Unit:
+        """Write one unit, replicated into every attached stream.
+
+        Blocks until at least one stream is attached — a process "simply
+        writes this information to its own output port" and relies on the
+        coordinator to have arranged (or to soon arrange) delivery.
+        """
+        if self.direction is not PortDirection.OUT:
+            raise PortError(f"cannot write to {self.direction.value} port {self!r}")
+        unit = Unit(payload)
+        with self._cond:
+            while True:
+                self._check_interrupt()
+                open_streams = [s for s in self._streams if s.accepts_input()]
+                if open_streams:
+                    break
+                if not self._cond.wait(timeout):
+                    raise PortError(
+                        f"write on {self!r} timed out with no stream attached"
+                    )
+            for stream in open_streams:
+                stream.push(unit)
+        return unit
+
+    def read(self, timeout: Optional[float] = None) -> object:
+        """Read the earliest available unit across all attached streams.
+
+        Blocks until a unit is available.  When a stream has been broken
+        at its source and drained, it is garbage-collected off the port.
+        """
+        if self.direction is not PortDirection.IN:
+            raise PortError(f"cannot read from {self.direction.value} port {self!r}")
+        with self._cond:
+            while True:
+                self._check_interrupt()
+                self._collect_dead_streams_locked()
+                best_stream = None
+                best_seq = None
+                for stream in self._streams:
+                    seq = stream.peek_seq()
+                    if seq is None:
+                        continue
+                    if best_seq is None or seq < best_seq:
+                        best_stream, best_seq = stream, seq
+                if best_stream is not None:
+                    unit = best_stream.pop()
+                    return unit.payload
+                if not self._cond.wait(timeout):
+                    raise PortError(f"read on {self!r} timed out")
+
+    def try_read(self) -> Optional[object]:
+        """Non-blocking read; ``None`` when no unit is available."""
+        with self._cond:
+            self._collect_dead_streams_locked()
+            best_stream = None
+            best_seq = None
+            for stream in self._streams:
+                seq = stream.peek_seq()
+                if seq is None:
+                    continue
+                if best_seq is None or seq < best_seq:
+                    best_stream, best_seq = stream, seq
+            if best_stream is None:
+                return None
+            return best_stream.pop().payload
+
+    def pending(self) -> int:
+        """Total units currently readable across attached streams."""
+        with self._lock:
+            return sum(s.pending() for s in self._streams)
+
+    def _collect_dead_streams_locked(self) -> None:
+        self._streams = [s for s in self._streams if not s.is_dead()]
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def interrupt(self) -> None:
+        """Make all current blocking calls raise :class:`PortError`."""
+        with self._cond:
+            self._interrupted = True
+            self._cond.notify_all()
+
+    def clear_interrupt(self) -> None:
+        with self._cond:
+            self._interrupted = False
+
+    def close(self) -> None:
+        """Permanently close the port; blocked calls raise."""
+        with self._cond:
+            self._closed = True
+            self._interrupted = True
+            self._cond.notify_all()
+
+    def _check_interrupt(self) -> None:
+        if self._interrupted or self._closed:
+            raise PortError(f"{self!r} interrupted")
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Port({self.owner.name}.{self.name}/{self.direction.value})"

@@ -1,0 +1,208 @@
+"""The runtime system: process registry, event broadcast, shutdown.
+
+The MANIFOLD system bundles process instances (threads) into task
+instances (OS processes) and broadcasts raised events to every process
+that can observe the source.  This module is the Python equivalent of
+that runtime library:
+
+* a :class:`Runtime` owns all process instances of one application;
+* every coordinator's :class:`~repro.manifold.events.EventMemory`
+  subscribes to the runtime's broadcast;
+* process death is turned into a broadcast of the predefined ``death``
+  event, which coordinators may handle, save or ``ignore``;
+* :meth:`Runtime.shutdown` interrupts every port so all threads unwind.
+
+The runtime is deliberately conservative: it never reaches into worker
+code, it only wakes blocked coordination primitives.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Callable, Optional
+
+from .events import Event, EventMemory, EventOccurrence
+from .process import (
+    AtomicDefinition,
+    AtomicProcess,
+    DEATH,
+    ProcessBase,
+    ProcessState,
+)
+
+__all__ = ["Runtime"]
+
+
+class Runtime:
+    """One coordination runtime instance ≙ one MANIFOLD application run."""
+
+    def __init__(self, name: str = "app", trace: Optional[Callable[[str], None]] = None) -> None:
+        self.name = name
+        self._lock = threading.Lock()
+        self._processes: list[ProcessBase] = []
+        self._subscribers: list[EventMemory] = []
+        self._event_log: list[EventOccurrence] = []
+        self._trace = trace
+        self._shutdown = False
+        self._started_at = time.monotonic()
+        #: callbacks fired when a process becomes active (placement stage)
+        self.on_activate_hooks: list[Callable[[ProcessBase], None]] = []
+        #: callbacks fired when a process reaches a final state
+        self.on_death_hooks: list[Callable[[ProcessBase], None]] = []
+        #: coordination pulse: bumped on every broadcast/activation/death
+        #: (consumed by :class:`repro.manifold.watchdog.Watchdog`)
+        self._activity = 0
+
+    # ------------------------------------------------------------------
+    # registry
+    # ------------------------------------------------------------------
+    def create(self, definition: AtomicDefinition, *args: object, **kwargs: object) -> AtomicProcess:
+        """Create (but do not activate) a process from a definition."""
+        proc = definition.instantiate(self, *args, **kwargs)
+        with self._lock:
+            self._processes.append(proc)
+        self._emit(f"create {proc.name}")
+        return proc
+
+    def spawn(self, definition: AtomicDefinition, *args: object, **kwargs: object) -> AtomicProcess:
+        """Create and immediately activate a process."""
+        proc = self.create(definition, *args, **kwargs)
+        proc.activate()
+        return proc
+
+    def adopt(self, proc: ProcessBase) -> ProcessBase:
+        """Register a process constructed outside :meth:`create`."""
+        with self._lock:
+            if proc not in self._processes:
+                self._processes.append(proc)
+        return proc
+
+    def register_active(self, proc: ProcessBase) -> None:
+        with self._lock:
+            if proc not in self._processes:
+                self._processes.append(proc)
+        self._emit(f"activate {proc.name}")
+        with self._lock:
+            self._activity += 1
+        for hook in list(self.on_activate_hooks):
+            hook(proc)
+
+    def processes(self) -> list[ProcessBase]:
+        with self._lock:
+            return list(self._processes)
+
+    def live_processes(self) -> list[ProcessBase]:
+        with self._lock:
+            return [p for p in self._processes if p.state is ProcessState.ACTIVE]
+
+    # ------------------------------------------------------------------
+    # events
+    # ------------------------------------------------------------------
+    def subscribe(self, memory: EventMemory) -> None:
+        """Register an event memory to receive all broadcasts."""
+        with self._lock:
+            if memory not in self._subscribers:
+                self._subscribers.append(memory)
+
+    def unsubscribe(self, memory: EventMemory) -> None:
+        with self._lock:
+            try:
+                self._subscribers.remove(memory)
+            except ValueError:
+                pass
+
+    def broadcast(self, occurrence: EventOccurrence) -> None:
+        """Deliver an occurrence to every subscribed event memory."""
+        with self._lock:
+            subscribers = list(self._subscribers)
+            self._event_log.append(occurrence)
+            self._activity += 1
+        source = occurrence.source.name if occurrence.source else "<runtime>"
+        self._emit(f"event {occurrence.event.name} raised by {source}")
+        for memory in subscribers:
+            memory.deliver(occurrence)
+
+    def raise_event(self, event: Event) -> None:
+        """Broadcast an event with no source (runtime-originated)."""
+        self.broadcast(EventOccurrence(event, None))
+
+    def event_log(self) -> list[EventOccurrence]:
+        """All occurrences broadcast so far, in order (for tests/traces)."""
+        with self._lock:
+            return list(self._event_log)
+
+    # ------------------------------------------------------------------
+    # lifecycle callbacks
+    # ------------------------------------------------------------------
+    def on_process_death(self, proc: ProcessBase) -> None:
+        """Called by every process when it reaches a final state."""
+        self._emit(f"death {proc.name} ({proc.state.value})")
+        with self._lock:
+            self._activity += 1
+        for hook in list(self.on_death_hooks):
+            hook(proc)
+        if not self._shutdown:
+            self.broadcast(EventOccurrence(DEATH, proc))
+
+    # ------------------------------------------------------------------
+    # shutdown / join
+    # ------------------------------------------------------------------
+    def join_all(self, timeout: Optional[float] = None) -> bool:
+        """Wait for every registered process to finish.
+
+        Returns ``True`` when everything terminated within ``timeout``.
+        """
+        deadline = None if timeout is None else time.monotonic() + timeout
+        for proc in self.processes():
+            remaining = None
+            if deadline is not None:
+                remaining = max(0.0, deadline - time.monotonic())
+            if not proc.join(remaining) and deadline is not None:
+                return False
+        return True
+
+    def shutdown(self) -> None:
+        """Interrupt all ports and close all event memories."""
+        self._shutdown = True
+        with self._lock:
+            procs = list(self._processes)
+            subs = list(self._subscribers)
+        for proc in procs:
+            for port in proc.ports.values():
+                port.interrupt()
+        for memory in subs:
+            memory.close()
+        self._emit("shutdown")
+
+    @property
+    def activity_count(self) -> int:
+        """Monotone coordination-activity counter (watchdog pulse)."""
+        with self._lock:
+            return self._activity
+
+    def failures(self) -> list[ProcessBase]:
+        """Processes that ended in the FAILED state."""
+        with self._lock:
+            return [p for p in self._processes if p.state is ProcessState.FAILED]
+
+    def check(self) -> None:
+        """Re-raise the first worker failure, if any (test helper)."""
+        for proc in self.failures():
+            failure = proc.failure
+            if failure is not None:
+                raise failure
+
+    # ------------------------------------------------------------------
+    # tracing
+    # ------------------------------------------------------------------
+    def _emit(self, message: str) -> None:
+        if self._trace is not None:
+            elapsed = time.monotonic() - self._started_at
+            self._trace(f"[{self.name} +{elapsed:8.4f}s] {message}")
+
+    def __enter__(self) -> "Runtime":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.shutdown()

@@ -1,0 +1,208 @@
+"""Task instances and the placement engine (the run side of MLINK).
+
+Process instances run as threads bundled into *task instances* — the
+heavy-weight, OS-level processes of a MANIFOLD application.  This module
+tracks that bundling at run time:
+
+* when a process instance is activated, the :class:`TaskManager` places
+  it in an existing non-full task instance of its task, or forks a new
+  task instance;
+* when a process instance dies, its weight is released; an emptied task
+  instance dies unless its pattern is ``perpetual``, in which case it
+  stays alive, "ready to welcome a new worker";
+* every placement and death is timestamped, producing the task-count
+  timeline behind the paper's Figure 1 (the "ebb & flow" of machines).
+
+The clock is injected so the same engine serves both real runs
+(``time.monotonic``) and the discrete-event cluster simulator (virtual
+time).
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+import time
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from .errors import LinkError
+from .mlink import LinkSpec, TaskPattern
+from .process import ProcessBase
+
+__all__ = ["TaskInstance", "TaskManager", "TimelinePoint"]
+
+_task_counter = itertools.count()
+
+
+@dataclass
+class TimelinePoint:
+    """One change in the number of live task instances."""
+
+    time: float
+    alive: int
+
+
+class TaskInstance:
+    """One OS-level process housing some of the application's threads."""
+
+    def __init__(self, task_name: str, pattern: TaskPattern, created_at: float) -> None:
+        self.id = next(_task_counter)
+        self.task_name = task_name
+        self.pattern = pattern
+        self.created_at = created_at
+        self.died_at: Optional[float] = None
+        self.residents: list[ProcessBase] = []
+        self.load = 0.0
+        #: host assignment, filled in by the CONFIG stage / simulator
+        self.host: Optional[object] = None
+        #: total residents ever housed (perpetual reuse accounting)
+        self.total_housed = 0
+
+    @property
+    def alive(self) -> bool:
+        return self.died_at is None
+
+    @property
+    def name(self) -> str:
+        return f"{self.task_name}[{self.id}]"
+
+    def fits(self, weight: float) -> bool:
+        """True when a resident of ``weight`` can be housed without the
+        task instance becoming full (load exceeding the limit)."""
+        return self.alive and self.load + weight <= self.pattern.load_limit
+
+    def house(self, proc: ProcessBase, weight: float) -> None:
+        self.residents.append(proc)
+        self.load += weight
+        self.total_housed += 1
+
+    def evict(self, proc: ProcessBase, weight: float) -> None:
+        self.residents.remove(proc)
+        self.load = max(0.0, self.load - weight)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = "alive" if self.alive else "dead"
+        return f"TaskInstance({self.name}, load={self.load}, {state})"
+
+
+class TaskManager:
+    """Places process instances into task instances per a link spec."""
+
+    def __init__(
+        self,
+        link_spec: LinkSpec,
+        default_task: Optional[str] = None,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        names = link_spec.task_names
+        if default_task is None:
+            if len(names) != 1:
+                raise LinkError(
+                    "default_task must be given when the link spec declares "
+                    f"{len(names)} named tasks"
+                )
+            default_task = names[0]
+        self.link_spec = link_spec
+        self.default_task = default_task
+        self.clock = clock
+        self._lock = threading.Lock()
+        self._instances: list[TaskInstance] = []
+        self._by_process: dict[int, tuple[TaskInstance, float]] = {}
+        self._timeline: list[TimelinePoint] = []
+        self._record_timeline_locked()
+
+    # ------------------------------------------------------------------
+    # placement
+    # ------------------------------------------------------------------
+    def place(self, proc: ProcessBase, task_name: Optional[str] = None) -> TaskInstance:
+        """Bundle an activated process instance into a task instance."""
+        task_name = task_name or self.default_task
+        pattern = self.link_spec.pattern_for(task_name)
+        weight = pattern.weight_of(proc.definition_name)
+        with self._lock:
+            instance = self._find_or_fork_locked(task_name, pattern, weight)
+            instance.house(proc, weight)
+            self._by_process[proc.instance_id] = (instance, weight)
+            proc.task_instance = instance
+            self._record_timeline_locked()
+            return instance
+
+    def _find_or_fork_locked(
+        self, task_name: str, pattern: TaskPattern, weight: float
+    ) -> TaskInstance:
+        for instance in self._instances:
+            if instance.task_name == task_name and instance.fits(weight):
+                return instance
+        instance = TaskInstance(task_name, pattern, created_at=self.clock())
+        self._instances.append(instance)
+        return instance
+
+    def release(self, proc: ProcessBase) -> Optional[TaskInstance]:
+        """Handle a process death; may end its (non-perpetual) task."""
+        with self._lock:
+            entry = self._by_process.pop(proc.instance_id, None)
+            if entry is None:
+                return None
+            instance, weight = entry
+            instance.evict(proc, weight)
+            if not instance.residents and not instance.pattern.perpetual:
+                instance.died_at = self.clock()
+            self._record_timeline_locked()
+            return instance
+
+    def kill_idle_perpetual(self) -> int:
+        """End every empty perpetual task instance (application wind-down).
+
+        Returns the number of instances ended.  Real MANIFOLD reclaims
+        perpetual tasks when the application exits; drivers call this
+        once the main coordinator is done so the machine-count timeline
+        returns to zero.
+        """
+        with self._lock:
+            now = self.clock()
+            n = 0
+            for instance in self._instances:
+                if instance.alive and not instance.residents:
+                    instance.died_at = now
+                    n += 1
+            if n:
+                self._record_timeline_locked()
+            return n
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    def instances(self) -> list[TaskInstance]:
+        with self._lock:
+            return list(self._instances)
+
+    def alive_instances(self) -> list[TaskInstance]:
+        with self._lock:
+            return [t for t in self._instances if t.alive]
+
+    def instance_of(self, proc: ProcessBase) -> Optional[TaskInstance]:
+        with self._lock:
+            entry = self._by_process.get(proc.instance_id)
+            return entry[0] if entry else None
+
+    def timeline(self) -> list[TimelinePoint]:
+        """Alive-task-count history — Figure 1's raw data."""
+        with self._lock:
+            return list(self._timeline)
+
+    def peak_instances(self) -> int:
+        return max((p.alive for p in self.timeline()), default=0)
+
+    def _record_timeline_locked(self) -> None:
+        alive = sum(1 for t in self._instances if t.alive)
+        self._timeline.append(TimelinePoint(self.clock(), alive))
+
+    # ------------------------------------------------------------------
+    # runtime wiring
+    # ------------------------------------------------------------------
+    def attach(self, runtime) -> "TaskManager":
+        """Subscribe to a runtime's activation/death hooks."""
+        runtime.on_activate_hooks.append(lambda proc: self.place(proc))
+        runtime.on_death_hooks.append(lambda proc: self.release(proc))
+        return self

@@ -1,0 +1,59 @@
+"""Data units that travel through streams.
+
+MANIFOLD streams carry opaque *units*.  A unit may be ordinary
+application data (here: any picklable Python object, typically NumPy
+arrays carrying grid blocks) or a *process reference* — the ``&worker``
+construct the paper's protocol sends to the master so it can address the
+worker it was just handed.
+
+Units are immutable envelopes: the payload is whatever the producer
+wrote, plus a monotonically increasing sequence number that preserves
+FIFO accounting in tests and traces.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .process import ProcessBase
+
+__all__ = ["Unit", "ProcessReference"]
+
+_unit_counter = itertools.count()
+
+
+@dataclass(frozen=True)
+class Unit:
+    """One unit of data flowing through a stream."""
+
+    payload: Any
+    seq: int = field(default_factory=_unit_counter.__next__)
+
+    def is_reference(self) -> bool:
+        """True when the payload is a process reference (``&p``)."""
+        return isinstance(self.payload, ProcessReference)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Unit#{self.seq}({self.payload!r})"
+
+
+@dataclass(frozen=True)
+class ProcessReference:
+    """The ``&p`` construct: a first-class reference to a process instance.
+
+    The master receives one of these for every worker the coordinator
+    creates (behaviour-interface step 3(c) in the paper) and uses it to
+    activate the worker and to label the data it writes for it.
+    """
+
+    process: "ProcessBase"
+
+    @property
+    def name(self) -> str:
+        return self.process.name
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"&{self.process.name}"

@@ -1,0 +1,33 @@
+"""Performance modelling and measurement.
+
+* :mod:`costmodel` — measures real ``subsolve`` costs at calibration
+  levels and fits an extrapolating model, so Table-1-scale sweeps
+  (level 15 ~ half an hour of 2003 CPU time *per run*) stay tractable;
+* :mod:`timing` — wall-clock measurement with n-run averaging (the
+  paper's five-run ``/bin/time`` protocol);
+* :mod:`metrics` — speedup and machine-usage summary statistics;
+* :mod:`overhead` — the §7 overhead decomposition (multi-user effects,
+  concurrency overhead, coordination-layer overhead).
+"""
+
+from .bridge import costs_from_run, records_from_run, replay_on_cluster
+from .costmodel import CostModel, CostRecord, measure_costs
+from .metrics import RunStatistics, speedup, summarize_runs
+from .overhead import OverheadReport, decompose_run
+from .timing import TimingResult, time_callable
+
+__all__ = [
+    "CostModel",
+    "CostRecord",
+    "OverheadReport",
+    "RunStatistics",
+    "TimingResult",
+    "costs_from_run",
+    "decompose_run",
+    "measure_costs",
+    "records_from_run",
+    "replay_on_cluster",
+    "speedup",
+    "summarize_runs",
+    "time_callable",
+]

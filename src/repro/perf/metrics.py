@@ -1,0 +1,46 @@
+"""Summary metrics of the evaluation: speedup and run statistics."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+__all__ = ["speedup", "RunStatistics", "summarize_runs"]
+
+
+def speedup(sequential_seconds: float, concurrent_seconds: float) -> float:
+    """The paper's ``su = st / ct``."""
+    if sequential_seconds < 0:
+        raise ValueError(f"sequential time must be >= 0, got {sequential_seconds}")
+    if concurrent_seconds <= 0:
+        raise ValueError(f"concurrent time must be > 0, got {concurrent_seconds}")
+    return sequential_seconds / concurrent_seconds
+
+
+@dataclass(frozen=True)
+class RunStatistics:
+    """Average over repeated runs of one configuration."""
+
+    mean_seconds: float
+    std_seconds: float
+    n_runs: int
+    samples: tuple[float, ...]
+
+    @property
+    def spread_ratio(self) -> float:
+        low = min(self.samples)
+        return max(self.samples) / low if low > 0 else float("inf")
+
+
+def summarize_runs(samples: Sequence[float]) -> RunStatistics:
+    if not samples:
+        raise ValueError("need at least one sample")
+    arr = np.asarray(samples, dtype=float)
+    return RunStatistics(
+        mean_seconds=float(arr.mean()),
+        std_seconds=float(arr.std()),
+        n_runs=len(samples),
+        samples=tuple(float(s) for s in samples),
+    )

@@ -1,0 +1,98 @@
+"""The §7 overhead decomposition.
+
+The paper distinguishes three overhead categories introduced by the
+restructuring:
+
+1. the unpredictable effects of the multi-user environment;
+2. the overhead of the concurrency itself (making a sequential program
+   run as a concurrent one: remote task instances, data passing);
+3. the overhead of the coordination layer (the protocol's events,
+   handshakes, rendezvous bookkeeping).
+
+A simulated :class:`~repro.cluster.simulator.DistributedRun` carries an
+itemized breakdown; this module maps the items onto the paper's three
+categories and quantifies the multi-user effect by differencing against
+a quiet-cluster re-simulation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cluster.simulator import DistributedRun
+
+__all__ = ["OverheadReport", "decompose_run"]
+
+#: breakdown items attributed to "the concurrency itself"
+_CONCURRENCY_ITEMS = ("startup", "fork", "send_wait", "result_wait", "shutdown")
+#: breakdown items attributed to "the coordination layer"
+_COORDINATION_ITEMS = ("handshake", "events")
+
+
+@dataclass(frozen=True)
+class OverheadReport:
+    """Elapsed time of one concurrent run, split §7-style."""
+
+    elapsed_seconds: float
+    useful_seconds: float          # critical-path work + master's own work
+    concurrency_seconds: float     # category 2
+    coordination_seconds: float    # category 3
+    multiuser_seconds: float       # category 1 (vs. the quiet twin run)
+
+    @property
+    def overhead_fraction(self) -> float:
+        total = (
+            self.concurrency_seconds
+            + self.coordination_seconds
+            + self.multiuser_seconds
+        )
+        return total / self.elapsed_seconds if self.elapsed_seconds > 0 else 0.0
+
+    def as_dict(self) -> dict[str, float]:
+        return {
+            "elapsed": self.elapsed_seconds,
+            "useful": self.useful_seconds,
+            "concurrency": self.concurrency_seconds,
+            "coordination": self.coordination_seconds,
+            "multiuser": self.multiuser_seconds,
+            "overhead_fraction": self.overhead_fraction,
+        }
+
+
+def decompose_run(
+    run: DistributedRun, quiet_run: DistributedRun | None = None
+) -> OverheadReport:
+    """Split a run's elapsed time into the paper's categories.
+
+    ``quiet_run`` is the same configuration re-simulated with
+    :meth:`~repro.cluster.noise.MultiUserNoise.quiet` noise; the elapsed
+    difference is the multi-user category.  Without it the category is
+    reported as zero (dedicated machines).
+    """
+    b = run.breakdown
+    concurrency = sum(b.get(item, 0.0) for item in _CONCURRENCY_ITEMS)
+    coordination = sum(b.get(item, 0.0) for item in _COORDINATION_ITEMS)
+    useful = (
+        b.get("work_critical", 0.0)
+        + b.get("master_init", 0.0)
+        + b.get("prolongation", 0.0)
+    )
+    multiuser = 0.0
+    if quiet_run is not None:
+        multiuser = max(0.0, run.elapsed_seconds - quiet_run.elapsed_seconds)
+        # the quiet twin absorbs the noise from every additive item; do
+        # not double-count it inside the other categories
+        concurrency = sum(quiet_run.breakdown.get(i, 0.0) for i in _CONCURRENCY_ITEMS)
+        coordination = sum(quiet_run.breakdown.get(i, 0.0) for i in _COORDINATION_ITEMS)
+        useful = (
+            quiet_run.breakdown.get("work_critical", 0.0)
+            + quiet_run.breakdown.get("master_init", 0.0)
+            + quiet_run.breakdown.get("prolongation", 0.0)
+        )
+    return OverheadReport(
+        elapsed_seconds=run.elapsed_seconds,
+        useful_seconds=useful,
+        concurrency_seconds=concurrency,
+        coordination_seconds=coordination,
+        multiuser_seconds=multiuser,
+    )

@@ -1,0 +1,66 @@
+"""Wall-clock measurement with n-run averaging.
+
+"To even out such 'random' perturbations, we ran the two versions of
+the application five times and computed the average elapsed or wall
+clock times" — this module is that protocol: run a callable ``repeats``
+times, report the mean, spread and all raw samples.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable, TypeVar
+
+import numpy as np
+
+__all__ = ["TimingResult", "time_callable"]
+
+T = TypeVar("T")
+
+
+@dataclass(frozen=True)
+class TimingResult:
+    """Elapsed-time statistics over repeated runs."""
+
+    samples: tuple[float, ...]
+    last_value: object = None
+
+    @property
+    def mean(self) -> float:
+        return float(np.mean(self.samples))
+
+    @property
+    def std(self) -> float:
+        return float(np.std(self.samples))
+
+    @property
+    def min(self) -> float:
+        return float(np.min(self.samples))
+
+    @property
+    def max(self) -> float:
+        return float(np.max(self.samples))
+
+    @property
+    def spread_ratio(self) -> float:
+        """max/min — the paper's "same order of magnitude" check."""
+        return self.max / self.min if self.min > 0 else float("inf")
+
+
+def time_callable(
+    fn: Callable[[], T],
+    repeats: int = 5,
+) -> TimingResult:
+    """Run ``fn`` ``repeats`` times, timing each run with a monotonic
+    clock (the ``/bin/time`` stand-in).  The last return value is kept
+    so callers can validate the computation they timed."""
+    if repeats < 1:
+        raise ValueError(f"repeats must be >= 1, got {repeats}")
+    samples: list[float] = []
+    value: object = None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        value = fn()
+        samples.append(time.perf_counter() - start)
+    return TimingResult(samples=tuple(samples), last_value=value)

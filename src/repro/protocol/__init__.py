@@ -1,0 +1,52 @@
+"""The paper's gluing modules: the generic master/worker protocol.
+
+This package is the Python port of ``protocolMW.m`` (§4.2 of the paper)
+plus the behaviour interfaces of §4.3:
+
+* :func:`~repro.protocol.master_worker.protocol_mw` — the ``ProtocolMW``
+  manner: master/worker coordination parameterized by the master process
+  and the worker manifold definition;
+* :func:`~repro.protocol.master_worker.create_worker_pool` — the
+  ``Create_Worker_Pool`` manner it uses;
+* :class:`~repro.protocol.interfaces.MasterProtocolClient` and
+  :func:`~repro.protocol.interfaces.make_worker_definition` — the
+  "special ANSI C interface library" equivalents that let legacy
+  computation code comply with the protocol.
+"""
+
+from .events import (
+    A_RENDEZVOUS,
+    CREATE_POOL,
+    CREATE_WORKER,
+    FINISHED,
+    RENDEZVOUS,
+    ProtocolEvents,
+    events_for,
+)
+from .interfaces import (
+    FailedWorkerResult,
+    MasterProtocolClient,
+    WorkerJob,
+    WorkerPoolError,
+    WorkerResult,
+    make_worker_definition,
+)
+from .master_worker import create_worker_pool, protocol_mw
+
+__all__ = [
+    "A_RENDEZVOUS",
+    "CREATE_POOL",
+    "CREATE_WORKER",
+    "FINISHED",
+    "RENDEZVOUS",
+    "FailedWorkerResult",
+    "MasterProtocolClient",
+    "ProtocolEvents",
+    "WorkerJob",
+    "WorkerPoolError",
+    "WorkerResult",
+    "create_worker_pool",
+    "events_for",
+    "make_worker_definition",
+    "protocol_mw",
+]

@@ -1,0 +1,96 @@
+"""The extern events of the master/worker protocol.
+
+Five events let the master communicate with the protocol (behaviour-
+interface step 1):
+
+* ``create_pool`` — master requests an empty workers-pool;
+* ``create_worker`` — master requests one more worker in the pool;
+* ``rendezvous`` — master requests the coordinator to organize the
+  synchronization point counting dead workers;
+* ``a_rendezvous`` — coordinator acknowledges the successful rendezvous;
+* ``finished`` — master declares it needs no more workers-pools.
+
+Step 1 reads "Make the extern events ... available to the master so
+that it can communicate with the master/worker protocol" — i.e. the
+events are *handed to* a specific master, they are not global
+mailboxes.  :func:`events_for` implements that: each master process
+gets its own event set (same names, distinct identities), so several
+master/worker protocols — including hierarchies where a worker is
+itself a master (§2's IWIM levels) — can run in one application without
+stealing each other's occurrences.  ``protocol_mw`` and
+``MasterProtocolClient`` both derive their events from the master, so
+the pairing is automatic.
+
+The sixth event of the protocol, ``death_worker``, is scoped even
+tighter: it is declared locally inside each ``Create_Worker_Pool``
+invocation and handed to every worker of that pool as its parameter.
+
+The module-level constants are the *name* anchors (useful for log
+inspection and documentation); coordination always goes through a
+master's own set.
+"""
+
+from __future__ import annotations
+
+import threading
+import weakref
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from repro.manifold import Event
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.manifold import ProcessBase
+
+__all__ = [
+    "CREATE_POOL",
+    "CREATE_WORKER",
+    "RENDEZVOUS",
+    "A_RENDEZVOUS",
+    "FINISHED",
+    "ProtocolEvents",
+    "events_for",
+]
+
+CREATE_POOL = Event("create_pool")
+CREATE_WORKER = Event("create_worker")
+RENDEZVOUS = Event("rendezvous")
+A_RENDEZVOUS = Event("a_rendezvous")
+FINISHED = Event("finished")
+
+
+@dataclass(frozen=True)
+class ProtocolEvents:
+    """One master's extern-event set."""
+
+    create_pool: Event
+    create_worker: Event
+    rendezvous: Event
+    a_rendezvous: Event
+    finished: Event
+
+    @classmethod
+    def fresh(cls) -> "ProtocolEvents":
+        return cls(
+            create_pool=Event.local("create_pool"),
+            create_worker=Event.local("create_worker"),
+            rendezvous=Event.local("rendezvous"),
+            a_rendezvous=Event.local("a_rendezvous"),
+            finished=Event.local("finished"),
+        )
+
+
+_events_lock = threading.Lock()
+_events_by_master: "weakref.WeakKeyDictionary[ProcessBase, ProtocolEvents]" = (
+    weakref.WeakKeyDictionary()
+)
+
+
+def events_for(master: "ProcessBase") -> ProtocolEvents:
+    """The extern-event set of ``master`` (created on first use)."""
+    with _events_lock:
+        events = _events_by_master.get(master)
+        if events is None:
+            events = ProtocolEvents.fresh()
+            _events_by_master[master] = events
+        return events

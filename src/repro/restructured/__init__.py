@@ -1,0 +1,49 @@
+"""The restructured (concurrent) application.
+
+This package corresponds to §5 of the paper: the master and worker
+wrappers around the original routines, and the small main program that
+turns the sequential application into a concurrent one by invoking the
+generic master/worker protocol.
+
+* :mod:`worker` — the worker wrapper plus pluggable *compute engines*:
+  inline (worker thread computes; concurrency bounded by the GIL except
+  where NumPy/SciPy release it) and process-based (each worker ships its
+  job to a separate OS process — the Python equivalent of MLINK housing
+  each worker in its own task instance);
+* :mod:`master` — the master wrapper: the sequential program with the
+  nested loop replaced by protocol steps 3(a)–3(h);
+* :mod:`mainprog` — ``mainprog.m``: ``Main`` calls
+  ``ProtocolMW(Master(argv), Worker)``;
+* :mod:`parallel` — the plain multiprocessing executor used as the
+  real-parallel measurement configuration and as a cross-check.
+"""
+
+from .master import ConcurrentResult, make_master_definition
+from .mainprog import run_concurrent
+from .parallel import run_multiprocessing
+from .taskengine import TaskInstanceEngine, TaskInstanceStats
+from .worker import (
+    ComputeEngine,
+    InlineEngine,
+    ProcessPoolEngine,
+    SubsolveJobSpec,
+    SubsolvePayload,
+    execute_job,
+    make_subsolve_worker,
+)
+
+__all__ = [
+    "ComputeEngine",
+    "ConcurrentResult",
+    "InlineEngine",
+    "ProcessPoolEngine",
+    "SubsolveJobSpec",
+    "SubsolvePayload",
+    "TaskInstanceEngine",
+    "TaskInstanceStats",
+    "execute_job",
+    "make_master_definition",
+    "make_subsolve_worker",
+    "run_concurrent",
+    "run_multiprocessing",
+]

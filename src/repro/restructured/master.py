@@ -1,0 +1,146 @@
+"""The master wrapper — the sequential program minus ``subsolve``.
+
+"The master performs all the computation in the sequential source code
+except the work embodied in ``subsolve``, which is done by the workers."
+Concretely: initialization, then — where the sequential code runs the
+nested loop — protocol steps 3(a)–3(h) delegating one ``subsolve`` per
+grid to a pool of workers, then ``finished``, then the final
+prolongation work.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+import numpy as np
+
+from repro.manifold import AtomicDefinition, AtomicProcess
+from repro.protocol import MasterProtocolClient, WorkerJob
+from repro.sparsegrid.combination import combine
+from repro.sparsegrid.grid import Grid
+
+from .worker import SubsolveJobSpec, SubsolvePayload
+
+__all__ = ["ConcurrentResult", "make_master_definition"]
+
+
+@dataclass
+class ConcurrentResult:
+    """What a restructured run produces — mirrors ``SequentialResult``."""
+
+    root: int
+    level: int
+    tol: float
+    payloads: dict[tuple[int, int], SubsolvePayload]
+    target_grid: Grid
+    combined: np.ndarray
+    total_seconds: float
+    pool_seconds: float
+    prolongation_seconds: float
+    n_workers: int
+
+    @property
+    def grid_seconds(self) -> dict[tuple[int, int], float]:
+        return {k: p.wall_seconds for k, p in self.payloads.items()}
+
+
+def make_master_definition(
+    root: int,
+    level: int,
+    tol: float,
+    problem_name: str = "rotating-cone",
+    problem_kwargs: Optional[dict] = None,
+    *,
+    t_end: Optional[float] = None,
+    scheme: str = "upwind",
+    target_cap: int | None = 8,
+    pool_per_diagonal: bool = False,
+    on_result: Optional[Callable[[ConcurrentResult], None]] = None,
+) -> AtomicDefinition:
+    """Build the ``Master`` manifold for one run configuration.
+
+    ``pool_per_diagonal`` selects the alternative organization in which
+    the master requests a fresh workers-pool per grid diagonal (two
+    pools) instead of one pool for all ``2*level+1`` grids; the paper's
+    protocol supports both ("just imagine that we have a master that
+    ... wants to introduce another workers-pool"), and the ablation
+    benchmark compares them.
+
+    ``on_result`` receives the final :class:`ConcurrentResult`; the
+    master also publishes it as ``proc.result`` for the driver.
+    """
+    kw_pairs = tuple(sorted((problem_kwargs or {}).items()))
+
+    def grids_by_pool() -> list[list[Grid]]:
+        diagonals: dict[int, list[Grid]] = {}
+        for lm in (level - 1, level):
+            if lm < 0:
+                continue
+            diagonals[lm] = [Grid(root, l, lm - l) for l in range(lm + 1)]
+        if pool_per_diagonal:
+            return [diagonals[lm] for lm in sorted(diagonals)]
+        return [[g for lm in sorted(diagonals) for g in diagonals[lm]]]
+
+    def master_body(proc: AtomicProcess) -> None:
+        t_start = time.perf_counter()
+        client = MasterProtocolClient(proc)
+        # step 2: initialization work (the global data structure)
+        payloads: dict[tuple[int, int], SubsolvePayload] = {}
+
+        # step 3 (+4): delegate each grid's subsolve to a pool worker
+        t_pool = time.perf_counter()
+        n_workers = 0
+        for pool_grids in grids_by_pool():
+            jobs = [
+                WorkerJob(
+                    job_id=(g.l, g.m),
+                    payload=SubsolveJobSpec(
+                        problem_name=problem_name,
+                        root=root,
+                        l=g.l,
+                        m=g.m,
+                        tol=tol,
+                        t_end=t_end,
+                        scheme=scheme,
+                        problem_kwargs=kw_pairs,
+                    ),
+                )
+                for g in pool_grids
+            ]
+            n_workers += len(jobs)
+            for result in client.run_pool(jobs):
+                payload = result.payload
+                payloads[(payload.l, payload.m)] = payload
+        client.finished()
+        pool_seconds = time.perf_counter() - t_pool
+
+        # step 5: final sequential computation — the prolongation work
+        t_prol = time.perf_counter()
+        solutions = {key: p.solution for key, p in payloads.items()}
+        target_grid, combined = combine(solutions, root, level, target_cap=target_cap)
+        prolongation_seconds = time.perf_counter() - t_prol
+
+        outcome = ConcurrentResult(
+            root=root,
+            level=level,
+            tol=tol,
+            payloads=payloads,
+            target_grid=target_grid,
+            combined=combined,
+            total_seconds=time.perf_counter() - t_start,
+            pool_seconds=pool_seconds,
+            prolongation_seconds=prolongation_seconds,
+            n_workers=n_workers,
+        )
+        proc.result = outcome  # type: ignore[attr-defined]
+        if on_result is not None:
+            on_result(outcome)
+
+    return AtomicDefinition(
+        "Master",
+        master_body,
+        in_ports=("input", "dataport"),
+        out_ports=("output", "error"),
+    )

@@ -1,0 +1,178 @@
+"""Real task instances: one OS process per worker, with perpetual reuse.
+
+:class:`~repro.restructured.worker.ProcessPoolEngine` uses a flat
+``multiprocessing.Pool``; this engine reproduces the MLINK semantics of
+§6 *literally* on this machine:
+
+* each computing worker occupies its **own OS-level process** (a task
+  instance with ``{load 1}``);
+* when the worker dies, its task instance either stays alive to
+  "welcome a new worker" (``{perpetual}``, the default) or exits;
+* spawning a fresh task instance has real cost (process fork + import),
+  so the reuse behaviour is *observable*: the engine counts spawns and
+  reuses, and a run of many short jobs forks far fewer processes than
+  it runs workers — the same effect the paper reports for machines.
+
+The protocol side is unchanged: this is just another compute engine for
+:func:`~repro.restructured.worker.make_subsolve_worker`.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import threading
+from dataclasses import dataclass
+from multiprocessing.connection import Connection
+from typing import Optional
+
+from .worker import ComputeEngine, SubsolveJobSpec, SubsolvePayload, execute_job
+
+__all__ = ["TaskInstanceEngine", "TaskInstanceStats"]
+
+_STOP = "__task_instance_stop__"
+
+
+def _task_instance_main(channel: Connection) -> None:
+    """The OS process's serve loop: one job at a time until stopped."""
+    while True:
+        message = channel.recv()
+        if message == _STOP:
+            channel.close()
+            return
+        try:
+            channel.send(("ok", execute_job(message)))
+        except Exception as exc:  # noqa: BLE001 - marshal the failure back
+            channel.send(("error", f"{type(exc).__name__}: {exc}"))
+
+
+class _TaskInstance:
+    """One live OS process plus its control channel."""
+
+    def __init__(self, context) -> None:
+        parent_end, child_end = multiprocessing.Pipe()
+        self.channel: Connection = parent_end
+        self.process = context.Process(
+            target=_task_instance_main, args=(child_end,), daemon=True
+        )
+        self.process.start()
+        child_end.close()
+        self.jobs_served = 0
+
+    def run(self, spec: SubsolveJobSpec) -> SubsolvePayload:
+        self.channel.send(spec)
+        status, payload = self.channel.recv()
+        self.jobs_served += 1
+        if status == "error":
+            raise RuntimeError(f"task instance failed: {payload}")
+        return payload
+
+    def stop(self) -> None:
+        try:
+            self.channel.send(_STOP)
+            self.channel.close()
+        except (BrokenPipeError, OSError):
+            pass
+        self.process.join(timeout=5.0)
+        if self.process.is_alive():  # pragma: no cover - defensive
+            self.process.terminate()
+
+
+@dataclass
+class TaskInstanceStats:
+    """Spawn/reuse accounting — the machine-count story, locally."""
+
+    spawned: int = 0
+    jobs: int = 0
+
+    @property
+    def reused(self) -> int:
+        return self.jobs - self.spawned
+
+
+class TaskInstanceEngine(ComputeEngine):
+    """Compute engine with per-worker OS task instances.
+
+    ``max_instances`` caps the concurrently live task instances (the
+    cluster size, as it were); a worker arriving when all instances are
+    busy and the cap is reached waits for one to free up.
+    """
+
+    def __init__(
+        self,
+        perpetual: bool = True,
+        max_instances: Optional[int] = None,
+    ) -> None:
+        if max_instances is not None and max_instances < 1:
+            raise ValueError(f"max_instances must be >= 1, got {max_instances}")
+        self.perpetual = perpetual
+        self.max_instances = max_instances
+        self._context = multiprocessing.get_context("fork")
+        self._lock = threading.Lock()
+        self._capacity = threading.Condition(self._lock)
+        self._idle: list[_TaskInstance] = []
+        self._live = 0
+        self._closed = False
+        self.stats = TaskInstanceStats()
+
+    # ------------------------------------------------------------------
+    def _acquire(self) -> _TaskInstance:
+        with self._capacity:
+            while True:
+                if self._closed:
+                    raise RuntimeError("engine is closed")
+                if self.perpetual and self._idle:
+                    return self._idle.pop()
+                if self.max_instances is None or self._live < self.max_instances:
+                    self._live += 1
+                    self.stats.spawned += 1
+                    break
+                self._capacity.wait(timeout=0.5)
+        # the fork happens outside the lock: it is the expensive part
+        return _TaskInstance(self._context)
+
+    def _release(self, instance: _TaskInstance) -> None:
+        with self._capacity:
+            if self.perpetual and not self._closed:
+                self._idle.append(instance)
+                self._capacity.notify_all()
+                return
+            self._live -= 1
+            self._capacity.notify_all()
+        instance.stop()
+
+    # ------------------------------------------------------------------
+    def compute(self, spec: SubsolveJobSpec) -> SubsolvePayload:
+        instance = self._acquire()
+        try:
+            payload = instance.run(spec)
+        except BaseException:
+            # a broken task instance is never reused
+            with self._capacity:
+                self._live -= 1
+                self._capacity.notify_all()
+            instance.stop()
+            raise
+        with self._lock:
+            self.stats.jobs += 1
+        self._release(instance)
+        return payload
+
+    def close(self) -> None:
+        with self._capacity:
+            if self._closed:
+                return
+            self._closed = True
+            idle, self._idle = self._idle, []
+            self._capacity.notify_all()
+        for instance in idle:
+            instance.stop()
+
+    @property
+    def live_instances(self) -> int:
+        with self._lock:
+            return self._live
+
+    @property
+    def idle_instances(self) -> int:
+        with self._lock:
+            return len(self._idle)

@@ -1,0 +1,156 @@
+"""The worker wrapper and its compute engines.
+
+A worker's contract is fixed by the protocol (read job, compute, write
+result, raise ``death_worker``); *where* the computation runs is the
+task-composition decision of §6.  Two engines realize the two
+configurations of the paper:
+
+* :class:`InlineEngine` — the worker thread computes in place.  All
+  workers share one OS process: the "parallel" (single task instance)
+  configuration.  CPython's GIL limits the speedup to what NumPy/SciPy
+  release — this is the repro-band caveat; measured honestly in the
+  benchmarks.
+* :class:`ProcessPoolEngine` — each job is shipped to a pool of worker
+  OS processes: the "distributed" (one worker per task instance)
+  configuration, and the GIL workaround.  Only the small job spec and
+  the result arrays cross the process boundary, exactly the data the
+  paper's master passes to and from its workers.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.manifold import AtomicDefinition
+from repro.protocol import make_worker_definition
+from repro.sparsegrid.grid import Grid
+from repro.sparsegrid.registry import make_problem
+from repro.sparsegrid.subsolve import subsolve
+
+__all__ = [
+    "SubsolveJobSpec",
+    "SubsolvePayload",
+    "execute_job",
+    "ComputeEngine",
+    "InlineEngine",
+    "ProcessPoolEngine",
+    "make_subsolve_worker",
+]
+
+
+@dataclass(frozen=True)
+class SubsolveJobSpec:
+    """Everything a worker needs to run ``subsolve(l, m)``.
+
+    Deliberately small and picklable: the problem travels by registry
+    name, not by object.
+    """
+
+    problem_name: str
+    root: int
+    l: int
+    m: int
+    tol: float
+    t_end: Optional[float] = None
+    scheme: str = "upwind"
+    problem_kwargs: tuple = ()  # sorted (key, value) pairs
+
+    @property
+    def grid(self) -> Grid:
+        return Grid(self.root, self.l, self.m)
+
+    def kwargs(self) -> dict:
+        return dict(self.problem_kwargs)
+
+
+@dataclass(frozen=True)
+class SubsolvePayload:
+    """What a worker sends back: the grid solution plus its counters."""
+
+    l: int
+    m: int
+    solution: np.ndarray
+    steps_accepted: int
+    steps_rejected: int
+    factorizations: int
+    solves: int
+    wall_seconds: float
+    work_units: float
+
+
+def execute_job(spec: SubsolveJobSpec) -> SubsolvePayload:
+    """Run one job — the function both engines ultimately call.
+
+    Must stay importable at module top level so multiprocessing can
+    pickle it by reference.
+    """
+    problem = make_problem(spec.problem_name, **spec.kwargs())
+    result = subsolve(
+        problem, spec.grid, spec.tol, t_end=spec.t_end, scheme=spec.scheme
+    )
+    return SubsolvePayload(
+        l=spec.l,
+        m=spec.m,
+        solution=result.solution,
+        steps_accepted=result.stats.steps_accepted,
+        steps_rejected=result.stats.steps_rejected,
+        factorizations=result.stats.factorizations,
+        solves=result.stats.solves,
+        wall_seconds=result.wall_seconds,
+        work_units=result.work_units,
+    )
+
+
+class ComputeEngine:
+    """Strategy interface: how a worker executes its job."""
+
+    def compute(self, spec: SubsolveJobSpec) -> SubsolvePayload:
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Release any resources; idempotent."""
+
+    def __enter__(self) -> "ComputeEngine":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
+
+
+class InlineEngine(ComputeEngine):
+    """Compute in the calling worker thread (single task instance)."""
+
+    def compute(self, spec: SubsolveJobSpec) -> SubsolvePayload:
+        return execute_job(spec)
+
+
+class ProcessPoolEngine(ComputeEngine):
+    """Ship each job to a pool of worker OS processes.
+
+    ``processes`` bounds the pool (defaults to the CPU count); with the
+    paper's configuration of one worker per task instance the natural
+    choice is one process per expected worker, capped by the hardware.
+    """
+
+    def __init__(self, processes: Optional[int] = None) -> None:
+        self._pool = multiprocessing.get_context("fork").Pool(processes)
+        self.processes = processes
+
+    def compute(self, spec: SubsolveJobSpec) -> SubsolvePayload:
+        return self._pool.apply(execute_job, (spec,))
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.terminate()
+            self._pool.join()
+            self._pool = None
+
+
+def make_subsolve_worker(engine: ComputeEngine) -> AtomicDefinition:
+    """The ``Worker`` manifold of §5: protocol-compliant wrapper whose
+    computation is delegated to the chosen engine."""
+    return make_worker_definition("Worker", engine.compute)

@@ -1,0 +1,73 @@
+"""The legacy application: sparse-grid advection–diffusion solver.
+
+This package is the Python equivalent of the ~3500-line sequential ANSI
+C program the paper restructures: a time-dependent two-dimensional
+advection–diffusion problem solved with the sparse-grid *combination
+technique*.
+
+* :mod:`problem` — problem definitions (velocity field, diffusion,
+  source, boundary/initial conditions, optional exact solution);
+* :mod:`grid` — the anisotropic grid family ``(l, m)`` and the
+  combination-diagonal enumeration behind the paper's nested loop;
+* :mod:`discretize` — sparse spatial operators (upwind advection +
+  central diffusion) with Dirichlet boundary handling;
+* :mod:`linsolve` — the linear-system layer (factorization cache);
+* :mod:`rosenbrock` — the adaptive ROS2 Rosenbrock time integrator;
+* :mod:`subsolve` — ``subsolve(l, m)``: the computation-intensive grid
+  routine the paper identifies as the concurrency candidate;
+* :mod:`combination` — prolongation and the combination formula;
+* :mod:`sequential` — the sequential driver (``SeqSourceCode.c``).
+"""
+
+from .combination import combination_coefficients, combine, resample_1d, resample_2d
+from .grid import Grid, combination_grids, nested_loop_grids
+from .problem import (
+    AdvectionDiffusionProblem,
+    boundary_layer_problem,
+    manufactured_problem,
+    inhomogeneous_problem,
+    rotating_cone_problem,
+)
+from .rosenbrock import Ros2Integrator, StepStats
+from .sequential import GlobalData, SequentialApplication, SequentialResult
+from .subsolve import SubsolveResult, subsolve
+from .theta import ThetaIntegrator, make_integrator, steps_for_tolerance
+from .verification import (
+    ConvergenceRow,
+    ConvergenceStudy,
+    combination_study,
+    discrete_mass,
+    error_norms,
+    single_grid_study,
+)
+
+__all__ = [
+    "AdvectionDiffusionProblem",
+    "boundary_layer_problem",
+    "GlobalData",
+    "Grid",
+    "Ros2Integrator",
+    "SequentialApplication",
+    "SequentialResult",
+    "StepStats",
+    "SubsolveResult",
+    "ConvergenceRow",
+    "ConvergenceStudy",
+    "ThetaIntegrator",
+    "combination_coefficients",
+    "combination_grids",
+    "combination_study",
+    "combine",
+    "discrete_mass",
+    "error_norms",
+    "make_integrator",
+    "single_grid_study",
+    "steps_for_tolerance",
+    "inhomogeneous_problem",
+    "manufactured_problem",
+    "nested_loop_grids",
+    "resample_1d",
+    "resample_2d",
+    "rotating_cone_problem",
+    "subsolve",
+]

@@ -1,0 +1,191 @@
+"""Spatial discretization: sparse operators on one anisotropic grid.
+
+The semi-discretization of the transport equation on grid ``(l, m)``
+(vertex-centred nodes, Dirichlet boundary) is the linear ODE system::
+
+    du/dt = J u + C g(t) + s(t)          (interior nodes only)
+
+* ``J`` — interior-to-interior operator: central second differences for
+  diffusion plus first-order *upwind* (or optionally central)
+  differences for advection;
+* ``C`` — the interior-from-boundary coupling captured at assembly, so
+  time-dependent Dirichlet data enters through a cheap matvec;
+* ``s(t)`` — the source sampled on interior nodes.
+
+Assembly is fully vectorized: 1-D difference stencils are built with
+``scipy.sparse.diags`` and composed with Kronecker products, then the
+variable-coefficient velocity enters as diagonal scalings.  Building
+this operator "takes a lot of time" in the original program; here it is
+one of the calibrated cost-model components.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Literal
+
+import numpy as np
+import scipy.sparse as sp
+
+from .grid import Grid
+from .problem import AdvectionDiffusionProblem
+
+__all__ = ["SpatialOperator"]
+
+Scheme = Literal["upwind", "central"]
+
+
+def _second_difference(n_nodes: int, h: float) -> sp.spmatrix:
+    """(u[i-1] - 2 u[i] + u[i+1]) / h^2 on interior rows; zero elsewhere."""
+    main = np.full(n_nodes, -2.0 / (h * h))
+    off = np.full(n_nodes - 1, 1.0 / (h * h))
+    mat = sp.diags([off, main, off], [-1, 0, 1], format="lil")
+    mat[0, :] = 0.0
+    mat[-1, :] = 0.0
+    return mat.tocsr()
+
+
+def _difference(n_nodes: int, h: float, kind: str) -> sp.spmatrix:
+    """1-D first-difference operator on interior rows.
+
+    ``kind``: ``minus`` = backward ``(u[i] - u[i-1])/h``; ``plus`` =
+    forward ``(u[i+1] - u[i])/h``; ``central`` = ``(u[i+1] - u[i-1])/(2h)``.
+    """
+    if kind == "minus":
+        mat = sp.diags(
+            [np.full(n_nodes - 1, -1.0 / h), np.full(n_nodes, 1.0 / h)],
+            [-1, 0],
+            format="lil",
+        )
+    elif kind == "plus":
+        mat = sp.diags(
+            [np.full(n_nodes, -1.0 / h), np.full(n_nodes - 1, 1.0 / h)],
+            [0, 1],
+            format="lil",
+        )
+    elif kind == "central":
+        mat = sp.diags(
+            [np.full(n_nodes - 1, -0.5 / h), np.full(n_nodes - 1, 0.5 / h)],
+            [-1, 1],
+            format="lil",
+        )
+    else:  # pragma: no cover - internal misuse
+        raise ValueError(f"unknown difference kind {kind!r}")
+    mat[0, :] = 0.0
+    mat[-1, :] = 0.0
+    return mat.tocsr()
+
+
+class SpatialOperator:
+    """Assembled spatial operator for one grid of one problem."""
+
+    def __init__(
+        self,
+        grid: Grid,
+        problem: AdvectionDiffusionProblem,
+        scheme: Scheme = "upwind",
+    ) -> None:
+        if scheme not in ("upwind", "central"):
+            raise ValueError(f"unknown advection scheme {scheme!r}")
+        self.grid = grid
+        self.problem = problem
+        self.scheme = scheme
+        started = time.perf_counter()
+
+        nx, ny = grid.nx, grid.ny
+        xx, yy = grid.meshgrid()
+        a1 = np.asarray(problem.velocity_x(xx, yy), dtype=float).reshape(-1)
+        a2 = np.asarray(problem.velocity_y(xx, yy), dtype=float).reshape(-1)
+
+        ix = sp.identity(nx + 1, format="csr")
+        iy = sp.identity(ny + 1, format="csr")
+        lap = problem.diffusion * (
+            sp.kron(_second_difference(nx + 1, grid.hx), iy, format="csr")
+            + sp.kron(ix, _second_difference(ny + 1, grid.hy), format="csr")
+        )
+
+        if scheme == "upwind":
+            dxm = sp.kron(_difference(nx + 1, grid.hx, "minus"), iy, format="csr")
+            dxp = sp.kron(_difference(nx + 1, grid.hx, "plus"), iy, format="csr")
+            dym = sp.kron(ix, _difference(ny + 1, grid.hy, "minus"), format="csr")
+            dyp = sp.kron(ix, _difference(ny + 1, grid.hy, "plus"), format="csr")
+            adv = (
+                sp.diags(np.maximum(a1, 0.0)) @ dxm
+                + sp.diags(np.minimum(a1, 0.0)) @ dxp
+                + sp.diags(np.maximum(a2, 0.0)) @ dym
+                + sp.diags(np.minimum(a2, 0.0)) @ dyp
+            )
+        else:
+            dxc = sp.kron(_difference(nx + 1, grid.hx, "central"), iy, format="csr")
+            dyc = sp.kron(ix, _difference(ny + 1, grid.hy, "central"), format="csr")
+            adv = sp.diags(a1) @ dxc + sp.diags(a2) @ dyc
+
+        full = (lap - adv).tocsr()
+
+        interior_mask = np.zeros((nx + 1, ny + 1), dtype=bool)
+        interior_mask[1:-1, 1:-1] = True
+        flat_mask = interior_mask.reshape(-1)
+        self.interior_idx = np.flatnonzero(flat_mask)
+        self.boundary_idx = np.flatnonzero(~flat_mask)
+
+        selected = full[self.interior_idx, :]
+        self.J: sp.csr_matrix = selected[:, self.interior_idx].tocsr()
+        self.C: sp.csr_matrix = selected[:, self.boundary_idx].tocsr()
+
+        xs, ys = xx.reshape(-1), yy.reshape(-1)
+        self._xi = xs[self.interior_idx]
+        self._yi = ys[self.interior_idx]
+        self._xb = xs[self.boundary_idx]
+        self._yb = ys[self.boundary_idx]
+        self.assembly_seconds = time.perf_counter() - started
+
+    # ------------------------------------------------------------------
+    # right-hand-side pieces
+    # ------------------------------------------------------------------
+    @property
+    def n_interior(self) -> int:
+        return self.J.shape[0]
+
+    def boundary_values(self, t: float) -> np.ndarray:
+        return np.asarray(
+            self.problem.boundary(self._xb, self._yb, t), dtype=float
+        ).reshape(-1)
+
+    def source_values(self, t: float) -> np.ndarray:
+        return np.asarray(
+            self.problem.source_or_zero(self._xi, self._yi, t), dtype=float
+        ).reshape(-1)
+
+    def forcing(self, t: float) -> np.ndarray:
+        """``b(t) = C g(t) + s(t)``: everything but ``J u``."""
+        return self.C @ self.boundary_values(t) + self.source_values(t)
+
+    def rhs(self, u: np.ndarray, t: float) -> np.ndarray:
+        """The full semi-discrete right-hand side ``f(u, t)``."""
+        return self.J @ u + self.forcing(t)
+
+    # ------------------------------------------------------------------
+    # (de)composition of full node arrays
+    # ------------------------------------------------------------------
+    def initial_interior(self) -> np.ndarray:
+        """The problem's initial condition sampled on interior nodes."""
+        return np.asarray(
+            self.problem.initial(self._xi, self._yi), dtype=float
+        ).reshape(-1)
+
+    def full_solution(self, u_interior: np.ndarray, t: float) -> np.ndarray:
+        """Embed an interior vector into the full node array at time ``t``
+        (boundary filled from the Dirichlet data)."""
+        nx, ny = self.grid.nx, self.grid.ny
+        flat = np.empty((nx + 1) * (ny + 1))
+        flat[self.interior_idx] = u_interior
+        flat[self.boundary_idx] = self.boundary_values(t)
+        return flat.reshape(nx + 1, ny + 1)
+
+    def interior_of(self, full: np.ndarray) -> np.ndarray:
+        """Extract the interior vector from a full node array."""
+        return np.asarray(full, dtype=float).reshape(-1)[self.interior_idx]
+
+    @property
+    def nnz(self) -> int:
+        return self.J.nnz + self.C.nnz

@@ -1,0 +1,148 @@
+"""The anisotropic grid family of the combination technique.
+
+A grid is identified by two integers ``(l, m)`` — exactly the two
+arguments of the paper's ``subsolve(l, m)``.  Grid ``(l, m)`` covers the
+unit square with ``2**(root+l)`` cells in x and ``2**(root+m)`` cells in
+y, where ``root`` is the refinement level of the coarsest grid (the
+program's first command-line argument; the paper uses 2).
+
+The paper's nested loop::
+
+    for (lm = level-1; lm <= level; lm++)
+        for (l = 0; l <= lm; l++)
+            subsolve(l, lm - l);
+
+visits the two *diagonals* ``l + m = level - 1`` and ``l + m = level``
+of the grid family — the grids of the two-dimensional combination
+technique.  The total count is ``level + (level+1) = 2*level + 1``,
+matching the paper's worker-count relation ``w = 2l + 1``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+import numpy as np
+
+__all__ = ["Grid", "nested_loop_grids", "combination_grids"]
+
+
+@dataclass(frozen=True)
+class Grid:
+    """One anisotropic tensor grid of the family."""
+
+    root: int
+    l: int
+    m: int
+
+    def __post_init__(self) -> None:
+        if self.root < 0:
+            raise ValueError(f"root must be >= 0, got {self.root}")
+        if self.l < 0 or self.m < 0:
+            raise ValueError(f"grid indices must be >= 0, got ({self.l}, {self.m})")
+
+    # ------------------------------------------------------------------
+    # geometry
+    # ------------------------------------------------------------------
+    @property
+    def nx(self) -> int:
+        """Number of cells in x."""
+        return 1 << (self.root + self.l)
+
+    @property
+    def ny(self) -> int:
+        """Number of cells in y."""
+        return 1 << (self.root + self.m)
+
+    @property
+    def hx(self) -> float:
+        return 1.0 / self.nx
+
+    @property
+    def hy(self) -> float:
+        return 1.0 / self.ny
+
+    @property
+    def shape(self) -> tuple[int, int]:
+        """Node-array shape, boundary included: ``(nx+1, ny+1)``."""
+        return (self.nx + 1, self.ny + 1)
+
+    @property
+    def interior_shape(self) -> tuple[int, int]:
+        return (self.nx - 1, self.ny - 1)
+
+    @property
+    def n_interior(self) -> int:
+        return (self.nx - 1) * (self.ny - 1)
+
+    @property
+    def n_nodes(self) -> int:
+        return (self.nx + 1) * (self.ny + 1)
+
+    @property
+    def diagonal(self) -> int:
+        """The combination diagonal this grid belongs to (``l + m``)."""
+        return self.l + self.m
+
+    @property
+    def anisotropy(self) -> int:
+        """``|l - m|`` — how stretched the cells are (0 = square cells)."""
+        return abs(self.l - self.m)
+
+    # ------------------------------------------------------------------
+    # coordinates
+    # ------------------------------------------------------------------
+    def x_nodes(self) -> np.ndarray:
+        return np.linspace(0.0, 1.0, self.nx + 1)
+
+    def y_nodes(self) -> np.ndarray:
+        return np.linspace(0.0, 1.0, self.ny + 1)
+
+    def meshgrid(self) -> tuple[np.ndarray, np.ndarray]:
+        """Full node coordinates, indexed ``[i, j] = (x_i, y_j)``."""
+        return np.meshgrid(self.x_nodes(), self.y_nodes(), indexing="ij")
+
+    def interior_meshgrid(self) -> tuple[np.ndarray, np.ndarray]:
+        return np.meshgrid(
+            self.x_nodes()[1:-1], self.y_nodes()[1:-1], indexing="ij"
+        )
+
+    def sample(self, f, *args) -> np.ndarray:
+        """Evaluate a field callable on all nodes (boundary included)."""
+        xx, yy = self.meshgrid()
+        return np.asarray(f(xx, yy, *args), dtype=float)
+
+    def __str__(self) -> str:
+        return f"grid({self.l},{self.m})@root{self.root}"
+
+
+def nested_loop_grids(root: int, level: int) -> list[Grid]:
+    """The grids visited by the paper's nested loop, in its exact order.
+
+    ``lm`` runs over ``level-1`` and ``level``; the inner loop runs
+    ``l = 0 .. lm`` and calls ``subsolve(l, lm - l)``.  For ``level = 0``
+    the first diagonal is empty and only grid ``(0, 0)`` is visited.
+    """
+    if level < 0:
+        raise ValueError(f"level must be >= 0, got {level}")
+    grids: list[Grid] = []
+    for lm in (level - 1, level):
+        for l in range(0, lm + 1):
+            grids.append(Grid(root, l, lm - l))
+    return grids
+
+
+def combination_grids(root: int, level: int) -> Iterator[tuple[Grid, int]]:
+    """Grids of the combination formula with their coefficients.
+
+    The classical two-dimensional combination technique::
+
+        u_combined = sum_{l+m = level} u_{l,m}  -  sum_{l+m = level-1} u_{l,m}
+
+    Yields ``(grid, +1)`` for the ``level`` diagonal and ``(grid, -1)``
+    for the ``level - 1`` diagonal (empty when ``level = 0``).
+    """
+    for grid in nested_loop_grids(root, level):
+        coefficient = 1 if grid.diagonal == level else -1
+        yield grid, coefficient

@@ -1,0 +1,67 @@
+"""The linear-system layer of the implicit time integrator.
+
+Every Rosenbrock stage solves ``(I - gamma*h*J) k = rhs``.  The original
+program's profile note — "this A matrix must be built up in the program
+which takes a lot of time" — corresponds here to the sparse LU
+factorization.  Because ``J`` is constant (the problem is linear) the
+factorization depends only on the step size ``h``; the cache refactors
+only when the adaptive controller actually changes ``h``, and counts
+factorizations and triangular solves for the cost model.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Optional
+
+import numpy as np
+import scipy.sparse as sp
+import scipy.sparse.linalg as spla
+
+__all__ = ["RosenbrockSystemSolver"]
+
+
+class RosenbrockSystemSolver:
+    """Factorization cache for ``(I - gamma*h*J)``."""
+
+    def __init__(self, J: sp.spmatrix, gamma: float) -> None:
+        if gamma <= 0:
+            raise ValueError(f"gamma must be positive, got {gamma}")
+        self.J = J.tocsc()
+        self.gamma = gamma
+        self.n = J.shape[0]
+        self._identity = sp.identity(self.n, format="csc")
+        self._lu: Optional[spla.SuperLU] = None
+        self._h: Optional[float] = None
+        #: statistics for the cost model
+        self.factorizations = 0
+        self.solves = 0
+        self.factor_seconds = 0.0
+        self.solve_seconds = 0.0
+
+    def prepare(self, h: float) -> None:
+        """(Re)factorize for step size ``h`` if it changed."""
+        if h <= 0:
+            raise ValueError(f"step size must be positive, got {h}")
+        if self._h is not None and h == self._h:
+            return
+        started = time.perf_counter()
+        matrix = (self._identity - (self.gamma * h) * self.J).tocsc()
+        self._lu = spla.splu(matrix)
+        self._h = h
+        self.factorizations += 1
+        self.factor_seconds += time.perf_counter() - started
+
+    def solve(self, rhs: np.ndarray) -> np.ndarray:
+        """Solve ``(I - gamma*h*J) x = rhs`` with the current factor."""
+        if self._lu is None:
+            raise RuntimeError("prepare(h) must be called before solve()")
+        started = time.perf_counter()
+        x = self._lu.solve(rhs)
+        self.solves += 1
+        self.solve_seconds += time.perf_counter() - started
+        return x
+
+    @property
+    def current_h(self) -> Optional[float]:
+        return self._h

@@ -1,0 +1,51 @@
+"""A registry of problem factories, keyed by name.
+
+Job specifications must cross process boundaries (the distributed /
+multiprocessing configurations), and problem objects hold closures that
+do not pickle.  Workers therefore receive ``(problem_name, kwargs)`` and
+rebuild the problem locally — the same contract as the original code,
+where every task instance links the whole legacy object file and
+reconstructs its grid context from the small description the master
+sends.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from .problem import (
+    AdvectionDiffusionProblem,
+    boundary_layer_problem,
+    inhomogeneous_problem,
+    manufactured_problem,
+    rotating_cone_problem,
+)
+
+__all__ = ["PROBLEMS", "make_problem", "register_problem"]
+
+ProblemFactory = Callable[..., AdvectionDiffusionProblem]
+
+PROBLEMS: dict[str, ProblemFactory] = {
+    "manufactured": manufactured_problem,
+    "inhomogeneous": inhomogeneous_problem,
+    "rotating-cone": rotating_cone_problem,
+    "boundary-layer": boundary_layer_problem,
+}
+
+
+def register_problem(name: str, factory: ProblemFactory) -> None:
+    """Add a named problem factory (examples register their own)."""
+    if name in PROBLEMS:
+        raise ValueError(f"problem {name!r} is already registered")
+    PROBLEMS[name] = factory
+
+
+def make_problem(name: str, **kwargs: object) -> AdvectionDiffusionProblem:
+    """Instantiate a registered problem."""
+    try:
+        factory = PROBLEMS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown problem {name!r}; registered: {sorted(PROBLEMS)}"
+        ) from None
+    return factory(**kwargs)

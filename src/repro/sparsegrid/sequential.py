@@ -1,0 +1,169 @@
+"""The sequential driver — ``SeqSourceCode.c`` in Python.
+
+Structure mirrors the paper's schematized main program:
+
+* the command-line parameters: ``root`` (refinement level of the
+  coarsest grid), ``level`` (additional refinement above the root) and
+  ``le_tol`` (the tolerance of the integrator);
+* "the huge global data structure" — :class:`GlobalData`, holding every
+  grid's solution;
+* initialization and some initial computations;
+* the heavy nested loop over ``lm`` in ``{level-1, level}`` and the
+  grids of each diagonal, calling ``subsolve(l, lm-l)``;
+* the prolongation work combining the coarse approximations onto the
+  finest grid used in the application.
+
+The restructured (concurrent) versions reuse everything here except the
+loop body's execution strategy — that is the entire point of the cut.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+import numpy as np
+
+from .combination import combine
+from .grid import Grid, nested_loop_grids
+from .problem import AdvectionDiffusionProblem, rotating_cone_problem
+from .subsolve import SubsolveResult, subsolve
+
+__all__ = ["GlobalData", "SequentialResult", "SequentialApplication"]
+
+
+@dataclass
+class GlobalData:
+    """The program's global data structure: per-grid results."""
+
+    root: int
+    level: int
+    results: dict[tuple[int, int], SubsolveResult] = field(default_factory=dict)
+
+    def store(self, result: SubsolveResult) -> None:
+        """"The results are stored in the global data structure.""" ""
+        self.results[(result.grid.l, result.grid.m)] = result
+
+    def solutions(self) -> dict[tuple[int, int], np.ndarray]:
+        return {key: res.solution for key, res in self.results.items()}
+
+    @property
+    def complete(self) -> bool:
+        expected = {(g.l, g.m) for g in nested_loop_grids(self.root, self.level)}
+        return expected == set(self.results)
+
+
+@dataclass
+class SequentialResult:
+    """Everything a run produces, for comparison and benchmarking."""
+
+    root: int
+    level: int
+    tol: float
+    data: GlobalData
+    target_grid: Grid
+    combined: np.ndarray
+    init_seconds: float
+    subsolve_seconds: float
+    prolongation_seconds: float
+    total_seconds: float
+
+    @property
+    def grid_seconds(self) -> dict[tuple[int, int], float]:
+        """Per-grid wall time — the worker-imbalance profile."""
+        return {k: r.wall_seconds for k, r in self.data.results.items()}
+
+    @property
+    def n_grids(self) -> int:
+        return len(self.data.results)
+
+
+class SequentialApplication:
+    """The original application: everything runs in one process.
+
+    Parameters mirror ``argv`` of the C program.  ``target_cap`` bounds
+    the prolongation target (see :mod:`repro.sparsegrid.combination`).
+    ``on_grid_done`` is an observer hook (used by traces and progress
+    reporting); it receives each :class:`SubsolveResult` as the loop
+    produces it.
+    """
+
+    def __init__(
+        self,
+        root: int = 2,
+        level: int = 2,
+        tol: float = 1.0e-3,
+        problem: Optional[AdvectionDiffusionProblem] = None,
+        *,
+        target_cap: int | None = 8,
+        on_grid_done: Optional[Callable[[SubsolveResult], None]] = None,
+    ) -> None:
+        if root < 0:
+            raise ValueError(f"root must be >= 0, got {root}")
+        if level < 0:
+            raise ValueError(f"level must be >= 0, got {level}")
+        if tol <= 0:
+            raise ValueError(f"le_tol must be positive, got {tol}")
+        self.root = root
+        self.level = level
+        self.tol = tol
+        self.problem = problem if problem is not None else rotating_cone_problem()
+        self.target_cap = target_cap
+        self.on_grid_done = on_grid_done
+
+    # ------------------------------------------------------------------
+    def grids(self) -> list[Grid]:
+        """The grids the nested loop visits, in loop order."""
+        return nested_loop_grids(self.root, self.level)
+
+    @property
+    def n_workers(self) -> int:
+        """The paper's ``w = 2*level + 1`` (one worker per visited grid)."""
+        return len(self.grids())
+
+    def initialize(self) -> GlobalData:
+        """Initialization of the data structure + initial computations."""
+        return GlobalData(self.root, self.level)
+
+    # ------------------------------------------------------------------
+    def run(self) -> SequentialResult:
+        """Execute the whole program: init, nested loop, prolongation."""
+        t_start = time.perf_counter()
+        data = self.initialize()
+        init_seconds = time.perf_counter() - t_start
+
+        # The heavy computational work: the nested loop over the grids.
+        t_loop = time.perf_counter()
+        for grid in self.grids():
+            result = subsolve(self.problem, grid, self.tol)
+            data.store(result)
+            if self.on_grid_done is not None:
+                self.on_grid_done(result)
+        subsolve_seconds = time.perf_counter() - t_loop
+
+        target_grid, combined = self.prolongate(data)
+        total = time.perf_counter() - t_start
+        return SequentialResult(
+            root=self.root,
+            level=self.level,
+            tol=self.tol,
+            data=data,
+            target_grid=target_grid,
+            combined=combined,
+            init_seconds=init_seconds,
+            subsolve_seconds=subsolve_seconds,
+            prolongation_seconds=total - init_seconds - subsolve_seconds,
+            total_seconds=total,
+        )
+
+    def prolongate(self, data: GlobalData) -> tuple[Grid, np.ndarray]:
+        """The prolongation work after the nested loop."""
+        if not data.complete:
+            missing = {
+                (g.l, g.m) for g in self.grids()
+            } - set(data.results)
+            raise ValueError(f"cannot prolongate, missing grids: {sorted(missing)}")
+        return combine(
+            data.solutions(), self.root, self.level, target_cap=self.target_cap
+        )

@@ -1,0 +1,157 @@
+"""Verification utilities: error norms, convergence studies, orders.
+
+The original developers judged their algorithms "effective (good
+convergence rates)"; this module makes that judgement reproducible:
+
+* grid-function error norms against an exact solution;
+* convergence studies over level sequences — for single grids, for the
+  combination technique, and for the time integrator — with observed
+  orders computed from consecutive refinements;
+* conservation checks (discrete mass) for the transport problems
+  without an exact solution.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+import numpy as np
+
+from .grid import Grid
+from .problem import AdvectionDiffusionProblem
+from .sequential import SequentialApplication
+from .subsolve import subsolve
+
+__all__ = [
+    "error_norms",
+    "ConvergenceRow",
+    "ConvergenceStudy",
+    "single_grid_study",
+    "combination_study",
+    "discrete_mass",
+]
+
+
+def error_norms(
+    computed: np.ndarray, exact: np.ndarray
+) -> dict[str, float]:
+    """Max, L2 (grid-weighted RMS) and L1 errors of a nodal field."""
+    if computed.shape != exact.shape:
+        raise ValueError(
+            f"shape mismatch: {computed.shape} vs {exact.shape}"
+        )
+    diff = np.abs(computed - exact)
+    return {
+        "max": float(diff.max()),
+        "l2": float(np.sqrt(np.mean(diff**2))),
+        "l1": float(np.mean(diff)),
+    }
+
+
+@dataclass(frozen=True)
+class ConvergenceRow:
+    """One refinement step of a study."""
+
+    level: int
+    error: float
+    order: Optional[float]  # vs the previous row; None for the first
+    wall_seconds: float
+
+
+@dataclass
+class ConvergenceStudy:
+    """A sequence of refinements with observed convergence orders."""
+
+    name: str
+    norm: str
+    rows: list[ConvergenceRow] = field(default_factory=list)
+
+    def add(self, level: int, error: float, wall_seconds: float) -> None:
+        order = None
+        if self.rows and error > 0 and self.rows[-1].error > 0:
+            step = level - self.rows[-1].level
+            if step > 0:
+                order = math.log(self.rows[-1].error / error) / (
+                    step * math.log(2.0)
+                )
+        self.rows.append(ConvergenceRow(level, error, order, wall_seconds))
+
+    @property
+    def observed_order(self) -> float:
+        """Median of the per-step orders (robust to pre-asymptotics)."""
+        orders = [r.order for r in self.rows if r.order is not None]
+        if not orders:
+            raise ValueError(f"study {self.name!r} has fewer than two rows")
+        return float(np.median(orders))
+
+    def is_converging(self) -> bool:
+        errors = [r.error for r in self.rows]
+        return all(b < a for a, b in zip(errors, errors[1:]))
+
+    def render(self) -> str:
+        lines = [f"convergence study: {self.name} ({self.norm} norm)"]
+        for row in self.rows:
+            order = "  --" if row.order is None else f"{row.order:4.2f}"
+            lines.append(
+                f"  level {row.level:2d}: error {row.error:.4e}  "
+                f"order {order}  [{row.wall_seconds:.2f}s]"
+            )
+        return "\n".join(lines)
+
+
+def single_grid_study(
+    problem: AdvectionDiffusionProblem,
+    levels: Sequence[int],
+    tol: float = 1.0e-7,
+    root: int = 2,
+    norm: str = "max",
+    scheme: str = "upwind",
+) -> ConvergenceStudy:
+    """Refine isotropic grids ``(l, l)`` against the exact solution."""
+    if problem.exact is None:
+        raise ValueError(f"problem {problem.name!r} has no exact solution")
+    study = ConvergenceStudy(f"single grid, {scheme}", norm)
+    for level in levels:
+        grid = Grid(root, level, level)
+        result = subsolve(problem, grid, tol, scheme=scheme)
+        xx, yy = grid.meshgrid()
+        exact = problem.exact(xx, yy, problem.t_end)
+        study.add(
+            level, error_norms(result.solution, exact)[norm], result.wall_seconds
+        )
+    return study
+
+
+def combination_study(
+    problem: AdvectionDiffusionProblem,
+    levels: Sequence[int],
+    tol: float = 1.0e-7,
+    root: int = 2,
+    norm: str = "max",
+) -> ConvergenceStudy:
+    """Refine the combination-technique solution against the exact one."""
+    if problem.exact is None:
+        raise ValueError(f"problem {problem.name!r} has no exact solution")
+    study = ConvergenceStudy("combination technique", norm)
+    for level in levels:
+        app = SequentialApplication(root=root, level=level, tol=tol, problem=problem)
+        result = app.run()
+        xx, yy = result.target_grid.meshgrid()
+        exact = problem.exact(xx, yy, problem.t_end)
+        study.add(
+            level, error_norms(result.combined, exact)[norm], result.total_seconds
+        )
+    return study
+
+
+def discrete_mass(values: np.ndarray, grid: Grid) -> float:
+    """Trapezoidal mass of a nodal field (conservation diagnostics)."""
+    if values.shape != grid.shape:
+        raise ValueError(f"field shape {values.shape} does not match {grid}")
+    wx = np.ones(grid.nx + 1)
+    wx[0] = wx[-1] = 0.5
+    wy = np.ones(grid.ny + 1)
+    wy[0] = wy[-1] = 0.5
+    return float((wx[:, None] * wy[None, :] * values).sum() * grid.hx * grid.hy)

@@ -1,0 +1,151 @@
+"""Cluster substrates: hosts, network model, multi-user noise."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cluster import EthernetModel, Host, MultiUserNoise, paper_cluster, uniform_cluster
+from repro.cluster.host import STARTUP_HOST_NAME
+
+
+class TestHosts:
+    def test_paper_cluster_size(self):
+        assert len(paper_cluster()) == 32
+
+    def test_paper_cluster_clock_mix(self):
+        clocks = sorted(h.clock_mhz for h in paper_cluster())
+        assert clocks.count(1200) == 24
+        assert clocks.count(1400) == 5
+        assert clocks.count(1466) == 3
+
+    def test_all_have_256kb_cache(self):
+        assert all(h.cache_kb == 256 for h in paper_cluster())
+
+    def test_startup_host_first(self):
+        assert paper_cluster()[0].name == STARTUP_HOST_NAME
+
+    def test_names_unique(self):
+        names = [h.name for h in paper_cluster()]
+        assert len(set(names)) == 32
+
+    def test_paper_hostnames_present(self):
+        """The six machines visible in the paper's output listing."""
+        names = {h.name for h in paper_cluster()}
+        for instrument in ("bumpa", "diplice", "alboka", "altfluit", "arghul", "basfluit"):
+            assert f"{instrument}.sen.cwi.nl" in names
+
+    def test_speed_factor_reference(self):
+        assert Host("x", 1200).speed_factor == pytest.approx(1.0)
+        assert Host("x", 1466).speed_factor == pytest.approx(1466 / 1200)
+
+    def test_speeds_same_order_of_magnitude(self):
+        factors = [h.speed_factor for h in paper_cluster()]
+        assert max(factors) / min(factors) < 1.25
+
+    def test_uniform_cluster(self):
+        cluster = uniform_cluster(8, clock_mhz=1300)
+        assert len(cluster) == 8
+        assert all(h.clock_mhz == 1300 for h in cluster)
+
+    def test_uniform_cluster_large(self):
+        assert len(uniform_cluster(100)) == 100
+
+    def test_invalid_host_rejected(self):
+        with pytest.raises(ValueError):
+            Host("bad", 0)
+        with pytest.raises(ValueError):
+            uniform_cluster(0)
+
+
+class TestEthernet:
+    def test_transfer_time_scales_with_bytes(self):
+        net = EthernetModel()
+        small = net.transfer_seconds(1_000)
+        large = net.transfer_seconds(1_000_000)
+        assert large > small
+
+    def test_100mbps_wire_time(self):
+        net = EthernetModel(latency_s=0.0, per_message_overhead_bytes=0)
+        # 12.5 MB at 100 Mbps = 1 second
+        assert net.transfer_seconds(12_500_000) == pytest.approx(1.0)
+
+    def test_latency_floor(self):
+        net = EthernetModel(latency_s=0.5e-3, per_message_overhead_bytes=0)
+        assert net.transfer_seconds(0) == pytest.approx(0.5e-3)
+
+    def test_nic_serializes_transfers(self):
+        net = EthernetModel()
+        s1, f1 = net.occupy("master", 0.0, 1_000_000)
+        s2, f2 = net.occupy("master", 0.0, 1_000_000)
+        assert s2 == pytest.approx(f1)
+        assert f2 > f1
+
+    def test_distinct_nics_do_not_contend(self):
+        net = EthernetModel()
+        _, f1 = net.occupy("a", 0.0, 1_000_000)
+        s2, _ = net.occupy("b", 0.0, 1_000_000)
+        assert s2 == 0.0
+
+    def test_transfer_waits_for_data_ready(self):
+        net = EthernetModel()
+        start, _ = net.occupy("master", 5.0, 1_000)
+        assert start == 5.0
+
+    def test_reset_clears_nic_state(self):
+        net = EthernetModel()
+        net.occupy("master", 0.0, 1_000_000)
+        net.reset()
+        start, _ = net.occupy("master", 0.0, 1_000)
+        assert start == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            EthernetModel(bandwidth_mbps=0)
+        with pytest.raises(ValueError):
+            EthernetModel(latency_s=-1)
+        with pytest.raises(ValueError):
+            EthernetModel().transfer_seconds(-1)
+
+
+class TestNoise:
+    def test_quiet_noise_is_unity(self):
+        sample = MultiUserNoise.quiet().sample(np.random.default_rng(0))
+        assert sample.slowdown == 1.0
+        assert not sample.background_job
+
+    def test_slowdown_at_least_one(self):
+        noise = MultiUserNoise()
+        rng = np.random.default_rng(7)
+        assert all(noise.sample(rng).slowdown >= 1.0 for _ in range(200))
+
+    def test_seeded_determinism(self):
+        noise = MultiUserNoise()
+        a = [noise.sample(np.random.default_rng(3)).slowdown for _ in range(5)]
+        b = [noise.sample(np.random.default_rng(3)).slowdown for _ in range(5)]
+        assert a == b
+
+    def test_background_jobs_hit_expected_rate(self):
+        noise = MultiUserNoise(background_probability=0.5)
+        rng = np.random.default_rng(11)
+        hits = sum(noise.sample(rng).background_job for _ in range(400))
+        assert 130 < hits < 270
+
+    def test_background_job_slows_substantially(self):
+        noise = MultiUserNoise(jitter_sigma=0.0, background_probability=1.0)
+        sample = noise.sample(np.random.default_rng(1))
+        assert sample.background_job
+        assert sample.slowdown > 1.1
+
+    def test_jitter_spread_is_modest(self):
+        """The paper: five-run differences were 'not so big'."""
+        noise = MultiUserNoise(background_probability=0.0)
+        rng = np.random.default_rng(5)
+        slowdowns = [noise.sample(rng).slowdown for _ in range(100)]
+        assert max(slowdowns) < 1.25
+
+    def test_invalid_sample_rejected(self):
+        from repro.cluster.noise import NoiseSample
+
+        with pytest.raises(ValueError):
+            NoiseSample(slowdown=0.5, background_job=False)

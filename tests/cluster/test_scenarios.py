@@ -1,0 +1,73 @@
+"""Named scenario configurations."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cluster import (
+    SCENARIOS,
+    get_scenario,
+    scenario_names,
+    simulate_distributed,
+)
+from repro.cluster.simulator import GridCost
+
+
+class TestRegistry:
+    def test_expected_scenarios_present(self):
+        assert {"paper", "dedicated", "homogeneous", "no-perpetual",
+                "io-workers", "no-initial-data", "one-task"} <= set(SCENARIOS)
+
+    def test_get_unknown_rejected(self):
+        with pytest.raises(KeyError, match="unknown scenario"):
+            get_scenario("warp-drive")
+
+    def test_names_match_registry(self):
+        assert set(scenario_names()) == set(SCENARIOS)
+
+    def test_descriptions_nonempty(self):
+        assert all(s.description for s in SCENARIOS.values())
+
+
+class TestConfigurations:
+    def test_paper_scenario_is_noisy_heterogeneous(self):
+        scenario = get_scenario("paper")
+        assert scenario.params().noise.jitter_sigma > 0
+        clocks = {h.clock_mhz for h in scenario.cluster()}
+        assert clocks == {1200, 1400, 1466}
+
+    def test_dedicated_scenario_is_quiet(self):
+        params = get_scenario("dedicated").params()
+        assert params.noise.jitter_sigma == 0.0
+        assert params.noise.background_probability == 0.0
+
+    def test_homogeneous_cluster_uniform(self):
+        clocks = {h.clock_mhz for h in get_scenario("homogeneous").cluster()}
+        assert clocks == {1200}
+
+    def test_flags(self):
+        assert get_scenario("no-perpetual").params().perpetual is False
+        assert get_scenario("io-workers").params().io_workers is True
+        assert get_scenario("no-initial-data").params().ship_initial_data is False
+        assert get_scenario("one-task").params().workers_per_task >= 31
+
+    def test_params_are_fresh_instances(self):
+        a = get_scenario("paper").params()
+        b = get_scenario("paper").params()
+        assert a is not b
+        a.network.occupy("x", 0.0, 100)  # mutating one must not leak
+        assert b.network.nic_free_at("x") == 0.0
+
+    def test_every_scenario_simulates(self):
+        costs = [
+            GridCost(l=i, m=0, work_ref_seconds=2.0, result_bytes=10_000)
+            for i in range(5)
+        ]
+        for name, scenario in SCENARIOS.items():
+            run = simulate_distributed(
+                [costs], scenario.cluster(), scenario.params(),
+                np.random.default_rng(1),
+            )
+            assert run.n_workers == 5, name
+            assert run.elapsed_seconds > 0, name

@@ -1,0 +1,234 @@
+"""The discrete-event cluster simulator."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cluster import (
+    EthernetModel,
+    GridCost,
+    MultiUserNoise,
+    SimulationParams,
+    paper_cluster,
+    simulate_distributed,
+    simulate_sequential,
+    uniform_cluster,
+)
+
+
+def quiet_params(**overrides) -> SimulationParams:
+    defaults = dict(noise=MultiUserNoise.quiet())
+    defaults.update(overrides)
+    return SimulationParams(**defaults)
+
+
+def costs_for(works: list[float], result_bytes: int = 10_000) -> list[GridCost]:
+    return [
+        GridCost(l=i, m=0, work_ref_seconds=w, result_bytes=result_bytes)
+        for i, w in enumerate(works)
+    ]
+
+
+def run(works, params=None, cluster=None, seed=0, pools=None, prol=0.0):
+    params = params or quiet_params()
+    cluster = cluster or uniform_cluster(8)
+    pools = pools if pools is not None else [costs_for(works)]
+    return simulate_distributed(
+        pools, cluster, params, np.random.default_rng(seed),
+        master_prolongation_ref_seconds=prol,
+    )
+
+
+class TestSequentialSimulation:
+    def test_elapsed_is_work_plus_overheads(self):
+        params = quiet_params()
+        seq = simulate_sequential(
+            costs_for([1.0, 2.0, 3.0]), uniform_cluster(1)[0], params,
+            np.random.default_rng(0),
+        )
+        assert seq.elapsed_seconds == pytest.approx(
+            0.05 + params.master_init_seconds + 6.0, rel=1e-6
+        )
+
+    def test_faster_host_is_faster(self):
+        params = quiet_params()
+        slow = simulate_sequential(
+            costs_for([10.0]), uniform_cluster(1, 1200)[0], params,
+            np.random.default_rng(0),
+        )
+        fast = simulate_sequential(
+            costs_for([10.0]), uniform_cluster(1, 1466)[0], params,
+            np.random.default_rng(0),
+        )
+        assert fast.elapsed_seconds < slow.elapsed_seconds
+
+    def test_noise_increases_elapsed(self):
+        noisy = SimulationParams(
+            noise=MultiUserNoise(jitter_sigma=0.0, background_probability=1.0)
+        )
+        base = simulate_sequential(
+            costs_for([100.0]), uniform_cluster(1)[0], quiet_params(),
+            np.random.default_rng(0),
+        )
+        perturbed = simulate_sequential(
+            costs_for([100.0]), uniform_cluster(1)[0], noisy,
+            np.random.default_rng(0),
+        )
+        assert perturbed.elapsed_seconds > base.elapsed_seconds
+
+    def test_prolongation_included(self):
+        a = simulate_sequential(
+            costs_for([1.0]), uniform_cluster(1)[0], quiet_params(),
+            np.random.default_rng(0),
+        )
+        b = simulate_sequential(
+            costs_for([1.0]), uniform_cluster(1)[0], quiet_params(),
+            np.random.default_rng(0), prolongation_ref_seconds=5.0,
+        )
+        assert b.elapsed_seconds == pytest.approx(a.elapsed_seconds + 5.0)
+
+
+class TestDistributedSimulation:
+    def test_deterministic_given_seed(self):
+        a = run([1.0, 2.0, 3.0], seed=42)
+        b = run([1.0, 2.0, 3.0], seed=42)
+        assert a.elapsed_seconds == b.elapsed_seconds
+
+    def test_all_workers_present(self):
+        result = run([1.0] * 5)
+        assert result.n_workers == 5
+        assert sorted(w.grid for w in result.workers) == [(i, 0) for i in range(5)]
+
+    def test_workers_overlap_in_time(self):
+        """Concurrency: with big equal jobs, intervals overlap."""
+        result = run([30.0] * 4)
+        starts = [w.welcome for w in result.workers]
+        ends = [w.bye for w in result.workers]
+        assert max(starts) < min(ends)
+
+    def test_elapsed_below_serial_sum_for_big_jobs(self):
+        works = [50.0] * 6
+        dist = run(works)
+        assert dist.elapsed_seconds < sum(works)
+
+    def test_elapsed_above_max_single_job(self):
+        works = [50.0, 40.0, 30.0]
+        dist = run(works)
+        assert dist.elapsed_seconds > 50.0
+
+    def test_small_jobs_dominated_by_overhead(self):
+        """The paper's no-gain regime: tiny work, elapsed ~ constants."""
+        params = quiet_params()
+        dist = run([0.01] * 5, params=params)
+        floor = params.startup_seconds + 5 * params.handshake_seconds
+        assert dist.elapsed_seconds > floor
+
+    def test_task_reuse_with_tiny_jobs(self):
+        """Workers die before the next fork: tasks are reused and fewer
+        machines than workers are needed (the paper's §6 observation)."""
+        result = run([0.01] * 10)
+        assert result.n_tasks_forked < 10
+
+    def test_no_reuse_with_long_jobs(self):
+        result = run([60.0] * 6)
+        assert result.n_tasks_forked == 6
+
+    def test_non_perpetual_never_reuses(self):
+        result = run([0.01] * 6, params=quiet_params(perpetual=False))
+        assert result.n_tasks_forked == 6
+
+    def test_workers_per_task_bundles(self):
+        result = run([5.0] * 6, params=quiet_params(workers_per_task=6))
+        assert result.n_tasks_forked == 1
+
+    def test_heterogeneous_hosts_speed_work(self):
+        """A 1466 MHz host finishes the same work faster."""
+        params = quiet_params()
+        slow = run([24.0], cluster=uniform_cluster(2, 1200), params=params)
+        fast = run([24.0], cluster=uniform_cluster(2, 1466), params=params)
+        slow_w = slow.workers[0]
+        fast_w = fast.workers[0]
+        assert fast_w.compute_seconds < slow_w.compute_seconds
+
+    def test_result_bytes_serialize_on_master_nic(self):
+        """Bigger results, later arrivals: the master's NIC is the
+        bottleneck the paper concedes."""
+        small = run([5.0] * 8, pools=[costs_for([5.0] * 8, result_bytes=1_000)])
+        big = run([5.0] * 8, pools=[costs_for([5.0] * 8, result_bytes=5_000_000)])
+        assert big.elapsed_seconds > small.elapsed_seconds + 2.0
+
+    def test_ship_initial_data_costs_time(self):
+        costs = costs_for([5.0] * 6, result_bytes=5_000_000)
+        with_data = run(None, pools=[costs], params=quiet_params(ship_initial_data=True))
+        without = run(None, pools=[costs], params=quiet_params(ship_initial_data=False))
+        assert with_data.elapsed_seconds > without.elapsed_seconds
+
+    def test_two_pools_form_a_barrier(self):
+        """Splitting into pools serializes: elapsed grows."""
+        works = [20.0] * 6
+        single = run(works)
+        double = run(None, pools=[costs_for(works[:3]), costs_for(works[3:])])
+        assert double.elapsed_seconds > single.elapsed_seconds
+
+    def test_breakdown_accounts_for_elapsed(self):
+        result = run([10.0, 20.0, 5.0])
+        b = result.breakdown
+        assert b["fork"] > 0
+        assert b["handshake"] > 0
+        assert b["work_critical"] == pytest.approx(
+            max(w.compute_seconds for w in result.workers)
+        )
+
+    def test_prolongation_on_master(self):
+        base = run([1.0])
+        with_prol = run([1.0], prol=7.0)
+        assert with_prol.elapsed_seconds == pytest.approx(
+            base.elapsed_seconds + 7.0, rel=1e-6
+        )
+        assert with_prol.breakdown["prolongation"] == pytest.approx(7.0)
+
+    def test_cluster_exhaustion_queues_workers(self):
+        """More long jobs than machines: placement waits, elapsed grows
+        beyond the single-wave time."""
+        cluster = uniform_cluster(4)  # master + 3 worker machines
+        result = run([30.0] * 9, cluster=cluster)
+        assert result.n_tasks_forked <= 3
+        assert result.elapsed_seconds > 60.0
+
+    def test_master_host_not_used_for_workers(self):
+        result = run([5.0] * 4)
+        assert all(w.host.name != result.master_host.name for w in result.workers)
+
+    def test_empty_cluster_rejected(self):
+        with pytest.raises(ValueError):
+            simulate_distributed(
+                [costs_for([1.0])], [], quiet_params(), np.random.default_rng(0)
+            )
+
+    def test_invalid_cost_rejected(self):
+        with pytest.raises(ValueError):
+            GridCost(l=0, m=0, work_ref_seconds=-1.0, result_bytes=0)
+        with pytest.raises(ValueError):
+            GridCost(l=0, m=0, work_ref_seconds=1.0, result_bytes=-1)
+
+    def test_invalid_params_rejected(self):
+        with pytest.raises(ValueError):
+            SimulationParams(workers_per_task=0)
+
+    def test_speedup_crossover_shape(self):
+        """The Table 1 shape in miniature: overhead-dominated at small
+        work, speedup > 1 once per-worker work dwarfs the constants."""
+        params = quiet_params()
+        host = uniform_cluster(1)[0]
+
+        def speedup(per_worker: float, n: int = 9) -> float:
+            works = [per_worker] * n
+            st = simulate_sequential(
+                costs_for(works), host, params, np.random.default_rng(0)
+            ).elapsed_seconds
+            ct = run(works, params=params, cluster=uniform_cluster(12)).elapsed_seconds
+            return st / ct
+
+        assert speedup(0.05) < 1.0
+        assert speedup(60.0) > 3.0

@@ -1,0 +1,120 @@
+"""Simulator variants: timesharing, I/O workers, paper-scale modes."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cluster import (
+    GridCost,
+    MultiUserNoise,
+    SimulationParams,
+    simulate_distributed,
+    uniform_cluster,
+)
+
+
+def quiet(**overrides) -> SimulationParams:
+    params = dict(noise=MultiUserNoise.quiet())
+    params.update(overrides)
+    return SimulationParams(**params)
+
+
+def costs(works, result_bytes=10_000):
+    return [
+        GridCost(l=i, m=0, work_ref_seconds=w, result_bytes=result_bytes)
+        for i, w in enumerate(works)
+    ]
+
+
+def run(pool, params, n_hosts=8, seed=0):
+    return simulate_distributed(
+        [pool], uniform_cluster(n_hosts), params, np.random.default_rng(seed)
+    )
+
+
+class TestTimesharing:
+    def test_coresident_workers_slow_down(self):
+        """Two long jobs on one single-CPU task instance take ~2x."""
+        alone = run(costs([20.0]), quiet(workers_per_task=2))
+        shared = run(costs([20.0, 20.0]), quiet(workers_per_task=2))
+        worker_alone = alone.workers[0]
+        slowest_shared = max(w.compute_seconds for w in shared.workers)
+        assert slowest_shared > 1.8 * worker_alone.compute_seconds
+
+    def test_separate_tasks_do_not_timeshare(self):
+        separate = run(costs([20.0, 20.0]), quiet(workers_per_task=1))
+        durations = [w.compute_seconds for w in separate.workers]
+        assert max(durations) == pytest.approx(20.0, rel=1e-6)
+
+    def test_bundled_run_still_correct_worker_count(self):
+        bundled = run(costs([1.0] * 6), quiet(workers_per_task=6))
+        assert bundled.n_workers == 6
+        assert bundled.n_tasks_forked == 1
+
+
+class TestIOWorkers:
+    def big_pool(self):
+        return costs([10.0] * 10, result_bytes=8_000_000)
+
+    def test_io_workers_relieve_master_nic(self):
+        base = run(self.big_pool(), quiet())
+        io = run(self.big_pool(), quiet(io_workers=True, io_worker_overhead_seconds=0.0))
+        # with zero hand-off overhead the NIC relief is a pure win
+        assert io.elapsed_seconds < base.elapsed_seconds
+
+    def test_io_worker_overhead_can_cancel_the_win(self):
+        io_cheap = run(
+            self.big_pool(),
+            quiet(io_workers=True, io_worker_overhead_seconds=0.0),
+        )
+        io_costly = run(
+            self.big_pool(),
+            quiet(io_workers=True, io_worker_overhead_seconds=2.0),
+        )
+        assert io_costly.elapsed_seconds > io_cheap.elapsed_seconds
+
+    def test_more_io_workers_spread_transfers(self):
+        one = run(
+            self.big_pool(),
+            quiet(io_workers=True, n_io_workers=1,
+                  io_worker_overhead_seconds=0.0),
+        )
+        four = run(
+            self.big_pool(),
+            quiet(io_workers=True, n_io_workers=4,
+                  io_worker_overhead_seconds=0.0),
+        )
+        assert four.elapsed_seconds <= one.elapsed_seconds + 1e-9
+
+    def test_breakdown_has_no_send_wait_under_io_workers(self):
+        io = run(self.big_pool(), quiet(io_workers=True))
+        assert io.breakdown["send_wait"] == 0.0
+
+
+class TestMachineTimelineVariants:
+    def test_pool_per_diagonal_two_waves(self):
+        """Two pools produce two distinct occupancy waves."""
+        from repro.cluster.trace import machines_timeline
+
+        params = quiet()
+        double = simulate_distributed(
+            [costs([15.0] * 4), costs([15.0] * 4)],
+            uniform_cluster(10),
+            params,
+            np.random.default_rng(0),
+        )
+        timeline = machines_timeline(double)
+        counts = [p.machines for p in timeline]
+        peak = max(counts)
+        # the trough between the waves drops well below the peak
+        peak_index = counts.index(peak)
+        trough_after = min(counts[peak_index:]) if peak_index < len(counts) else 0
+        assert peak >= 4
+        assert trough_after <= 1
+
+    def test_workers_interval_bookkeeping_consistent(self):
+        result = run(costs([5.0, 10.0, 2.0]), quiet())
+        for worker in result.workers:
+            assert worker.bye > worker.welcome
+            assert worker.compute_seconds <= worker.bye - worker.welcome + 1e-9

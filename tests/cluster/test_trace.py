@@ -1,0 +1,129 @@
+"""Chronological Welcome/Bye output and the machines timeline."""
+
+from __future__ import annotations
+
+import re
+
+import numpy as np
+import pytest
+
+from repro.cluster import (
+    GridCost,
+    MultiUserNoise,
+    SimulationParams,
+    simulate_distributed,
+    uniform_cluster,
+)
+from repro.cluster.trace import (
+    MachinePoint,
+    ascii_timeline,
+    machines_timeline,
+    render_trace,
+    trace_messages,
+    weighted_average_machines,
+)
+
+
+@pytest.fixture()
+def sample_run():
+    costs = [
+        GridCost(l=i, m=0, work_ref_seconds=w, result_bytes=10_000)
+        for i, w in enumerate([5.0, 15.0, 25.0, 2.0])
+    ]
+    params = SimulationParams(noise=MultiUserNoise.quiet())
+    return simulate_distributed(
+        [costs], uniform_cluster(8), params, np.random.default_rng(0)
+    )
+
+
+class TestTraceMessages:
+    def test_one_welcome_and_bye_per_process(self, sample_run):
+        messages = trace_messages(sample_run)
+        welcomes = [m for m in messages if m.text == "Welcome"]
+        byes = [m for m in messages if m.text == "Bye"]
+        assert len(welcomes) == sample_run.n_workers + 1  # workers + master
+        assert len(byes) == sample_run.n_workers + 1
+
+    def test_chronological_order(self, sample_run):
+        times = [m.time for m in trace_messages(sample_run)]
+        assert times == sorted(times)
+
+    def test_master_welcome_first(self, sample_run):
+        first = trace_messages(sample_run)[0]
+        assert first.manifold.startswith("Master")
+        assert first.text == "Welcome"
+
+    def test_master_bye_last(self, sample_run):
+        last = trace_messages(sample_run)[-1]
+        assert last.manifold.startswith("Master")
+        assert last.text == "Bye"
+
+    def test_rendered_format_matches_paper(self, sample_run):
+        """label: host taskid procid seconds micros / task manifold
+        source line -> message"""
+        text = render_trace(sample_run)
+        pattern = re.compile(
+            r"^\S+\.sen\.cwi\.nl \d+ \d+ \d{10} \d+\n"
+            r"  mainprog (Master\(port in\)|Worker\(event\)) "
+            r"ResSourceCode\.c \d+ -> (Welcome|Bye)$",
+            re.MULTILINE,
+        )
+        matches = pattern.findall(text)
+        assert len(matches) == 2 * (sample_run.n_workers + 1)
+
+    def test_source_lines_match_paper(self, sample_run):
+        text = render_trace(sample_run)
+        assert "ResSourceCode.c 136 -> Welcome" in text  # master welcome
+        assert "ResSourceCode.c 337 -> Bye" in text      # master bye
+        assert "ResSourceCode.c 351 -> Welcome" in text  # worker welcome
+        assert "ResSourceCode.c 370 -> Bye" in text      # worker bye
+
+
+class TestMachinesTimeline:
+    def test_starts_at_one_machine(self, sample_run):
+        timeline = machines_timeline(sample_run)
+        # the start-up machine is in use from t=0
+        assert timeline[0].machines == 0
+        assert timeline[1].time == 0.0
+        assert timeline[1].machines == 1
+
+    def test_peak_bounded_by_hosts(self, sample_run):
+        timeline = machines_timeline(sample_run)
+        assert max(p.machines for p in timeline) <= len(sample_run.hosts_used)
+
+    def test_count_never_negative(self, sample_run):
+        assert all(p.machines >= 0 for p in machines_timeline(sample_run))
+
+    def test_ebb_and_flow(self, sample_run):
+        """The count rises above one and falls back: dynamic expansion
+        and shrinking."""
+        counts = [p.machines for p in machines_timeline(sample_run)]
+        assert max(counts) >= 3
+        assert counts[-1] <= 1
+
+    def test_weighted_average_between_bounds(self, sample_run):
+        timeline = machines_timeline(sample_run)
+        avg = weighted_average_machines(timeline, sample_run.elapsed_seconds)
+        assert 1.0 <= avg <= max(p.machines for p in timeline)
+
+    def test_weighted_average_constant_staircase(self):
+        timeline = [MachinePoint(0.0, 3)]
+        assert weighted_average_machines(timeline, 10.0) == pytest.approx(3.0)
+
+    def test_weighted_average_two_steps(self):
+        timeline = [MachinePoint(0.0, 1), MachinePoint(5.0, 3)]
+        assert weighted_average_machines(timeline, 10.0) == pytest.approx(2.0)
+
+    def test_weighted_average_validates_t_end(self):
+        with pytest.raises(ValueError):
+            weighted_average_machines([MachinePoint(0.0, 1)], 0.0)
+
+    def test_ascii_timeline_renders(self, sample_run):
+        timeline = machines_timeline(sample_run)
+        art = ascii_timeline(timeline, sample_run.elapsed_seconds)
+        assert "#" in art
+        assert art.count("\n") >= 10
+
+    def test_ascii_timeline_empty(self):
+        assert "empty" in ascii_timeline([], 1.0)
+        assert "no machines" in ascii_timeline([MachinePoint(0.0, 0)], 1.0)

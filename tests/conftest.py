@@ -1,0 +1,80 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.manifold import Runtime
+from repro.perf.costmodel import CostModel, CostRecord
+
+
+@pytest.fixture()
+def runtime():
+    """A fresh coordination runtime, shut down after the test."""
+    rt = Runtime("test")
+    yield rt
+    rt.shutdown()
+
+
+def synthetic_records(
+    root: int = 2,
+    levels=range(2, 7),
+    tols=(1.0e-3, 1.0e-4),
+    *,
+    gamma: float = 0.01,
+    beta: float = 5.0e-7,
+    alpha: float = 1.0e-7,
+    s0: float = 1.0,
+    s1: float = 0.11,
+    s2: float = -0.04,
+    s3: float = 1.2,
+) -> list[CostRecord]:
+    """Noise-free records generated from a known ground-truth model."""
+    records = []
+    for tol in tols:
+        for level in levels:
+            for l in range(level + 1):
+                m = level - l
+                n = (2 ** (root + l) - 1) * (2 ** (root + m) - 1)
+                solves = math.exp(
+                    s0 + s1 * (l + m) + s2 * abs(l - m) + s3 * math.log10(1.0 / tol)
+                )
+                wall = gamma + beta * n + alpha * n * solves
+                records.append(
+                    CostRecord(
+                        l=l,
+                        m=m,
+                        tol=tol,
+                        wall_seconds=wall,
+                        solves=int(round(solves)),
+                        steps_accepted=int(round(solves / 2)),
+                        n_interior=n,
+                    )
+                )
+    return records
+
+
+@pytest.fixture(scope="session")
+def synthetic_cost_model() -> CostModel:
+    """A cost model fitted on synthetic ground-truth records.
+
+    Fast (no real solves) and deterministic; used by simulator, harness
+    and figure tests that only need *a* plausible model.
+    """
+    return CostModel.fit(synthetic_records(), root=2)
+
+
+@pytest.fixture(scope="session")
+def calibrated_cost_model() -> CostModel:
+    """A cost model calibrated on the real solver at small levels.
+
+    Session-scoped: the measurement (~2 s) runs once per test session.
+    """
+    from repro.perf.costmodel import measure_costs
+
+    records = measure_costs(
+        "rotating-cone", root=2, levels=[4, 5, 6], tols=[1.0e-3, 1.0e-4]
+    )
+    return CostModel.fit(records, root=2)

@@ -1,0 +1,57 @@
+"""The executable experiment index."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.harness.experiments import EXPERIMENTS, get_experiment, render_index
+
+REPO_ROOT = Path(__file__).resolve().parent.parent.parent
+
+
+class TestIndex:
+    def test_all_paper_artifacts_covered(self):
+        artifacts = {e.paper_artifact for e in EXPERIMENTS.values()}
+        assert "Table 1" in artifacts
+        for figure in range(1, 6):
+            assert any(f"Figure {figure}" == a for a in artifacts), figure
+
+    def test_ids_sequential(self):
+        assert set(EXPERIMENTS) == {f"E{i}" for i in range(1, 13)}
+
+    def test_bench_targets_exist_on_disk(self):
+        for experiment in EXPERIMENTS.values():
+            assert (REPO_ROOT / experiment.bench_target).exists(), experiment.id
+
+    def test_modules_importable(self):
+        import importlib
+
+        for experiment in EXPERIMENTS.values():
+            for module in experiment.modules:
+                importlib.import_module(module)
+
+    def test_lookup_case_insensitive(self):
+        assert get_experiment("e1").id == "E1"
+
+    def test_unknown_id_rejected(self):
+        with pytest.raises(KeyError, match="unknown experiment"):
+            get_experiment("E99")
+
+    def test_render_index(self):
+        text = render_index()
+        assert "E1" in text and "E12" in text
+
+
+class TestQuickRunners:
+    @pytest.mark.parametrize("experiment_id", ["E1", "E2", "E3", "E6", "E7", "E9", "E12"])
+    def test_quick_summaries_produce_text(self, experiment_id, synthetic_cost_model):
+        experiment = get_experiment(experiment_id)
+        assert experiment.quick is not None
+        text = experiment.quick(synthetic_cost_model)
+        assert isinstance(text, str) and len(text) > 50
+
+    @pytest.mark.parametrize("experiment_id", ["E8", "E10", "E11"])
+    def test_real_execution_experiments_defer_to_bench(self, experiment_id):
+        assert get_experiment(experiment_id).quick is None

@@ -1,0 +1,101 @@
+"""Figures 1-5 regeneration and the text renderers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.harness import (
+    Table1Experiment,
+    figure1_ebb_flow,
+    figure_speedup_machines,
+    figure_times,
+    render_linear_plot,
+    render_log_plot,
+    render_table,
+)
+
+
+@pytest.fixture(scope="module")
+def experiment(synthetic_cost_model):
+    return Table1Experiment(synthetic_cost_model, runs=2, seed=11)
+
+
+@pytest.fixture(scope="module")
+def rows(experiment):
+    return experiment.run_all(levels=[0, 5, 10, 15], tols=(1e-3, 1e-4))
+
+
+class TestFigure1:
+    def test_ebb_flow_statistics(self, experiment):
+        fig = figure1_ebb_flow(experiment, level=15, tol=1e-3)
+        machines = fig.series["machines"]
+        assert max(machines) > 5         # real expansion
+        assert machines[-1] <= 1         # and shrinking back
+        assert "peak" in fig.rendered
+        assert "#" in fig.rendered
+
+    def test_ebb_flow_peak_bounded_by_cluster(self, experiment):
+        fig = figure1_ebb_flow(experiment, level=15, tol=1e-3)
+        assert max(fig.series["machines"]) <= 32
+
+    def test_small_level_uses_few_machines(self, experiment):
+        fig = figure1_ebb_flow(experiment, level=2, tol=1e-3)
+        assert max(fig.series["machines"]) <= 4
+
+
+class TestFigures2to5:
+    def test_times_series_match_rows(self, rows):
+        fig = figure_times(rows, tol=1e-3, figure_number=2)
+        selected = [r for r in rows if r.tol == 1e-3]
+        assert fig.x == [float(r.level) for r in sorted(selected, key=lambda r: r.level)]
+        assert fig.series["sequential st"] == [
+            r.st for r in sorted(selected, key=lambda r: r.level)
+        ]
+
+    def test_times_rendered_log_scale(self, rows):
+        fig = figure_times(rows, tol=1e-4, figure_number=4)
+        assert "log scale" in fig.rendered
+
+    def test_speedup_series(self, rows):
+        fig = figure_speedup_machines(rows, tol=1e-3, figure_number=3)
+        assert "speedup su" in fig.series
+        assert "machines m" in fig.series
+        assert len(fig.series["speedup su"]) == 4
+
+    def test_figure_numbers_in_names(self, rows):
+        assert "Figure 2" in figure_times(rows, 1e-3, 2).name
+        assert "Figure 5" in figure_speedup_machines(rows, 1e-4, 5).name
+
+    def test_as_rows_tabulates(self, rows):
+        fig = figure_times(rows, tol=1e-3, figure_number=2)
+        table = fig.as_rows()
+        assert len(table) == len(fig.x)
+        assert len(table[0]) == 3  # x, st, ct
+
+
+class TestRenderers:
+    def test_table_alignment(self):
+        text = render_table(["a", "bb"], [[1, 2.5], [10, 0.001]])
+        lines = text.splitlines()
+        assert len({len(line) for line in lines}) == 1  # all same width
+
+    def test_table_title(self):
+        assert render_table(["x"], [[1]], title="T").startswith("T")
+
+    def test_log_plot_renders_markers(self):
+        text = render_log_plot(
+            [0, 1, 2], {"a": [1.0, 10.0, 100.0], "b": [2.0, 20.0, 200.0]}
+        )
+        assert "o" in text and "+" in text
+
+    def test_log_plot_skips_nonpositive(self):
+        text = render_log_plot([0, 1], {"a": [0.0, 10.0]})
+        canvas = "".join(line for line in text.splitlines() if line.startswith("|"))
+        assert canvas.count("o") == 1
+
+    def test_linear_plot_renders(self):
+        text = render_linear_plot([0, 1, 2], {"su": [0.5, 1.0, 4.0]})
+        assert "|" in text and "o" in text
+
+    def test_empty_plot_handled(self):
+        assert "no data" in render_log_plot([], {"a": []})

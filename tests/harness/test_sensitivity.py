@@ -1,0 +1,62 @@
+"""The sensitivity-analysis harness."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster import MultiUserNoise, SimulationParams
+from repro.harness.sensitivity import (
+    KNOBS,
+    SensitivityResult,
+    render_sensitivity,
+    sweep_sensitivity,
+)
+
+
+class TestKnobs:
+    def test_expected_knobs_registered(self):
+        names = {k.name for k in KNOBS}
+        assert {"startup_seconds", "fork_seconds", "handshake_seconds",
+                "event_latency_seconds", "bandwidth_mbps"} == names
+
+    def test_apply_scales_without_mutating(self):
+        base = SimulationParams(noise=MultiUserNoise.quiet())
+        for knob in KNOBS:
+            scaled = knob.apply(base, 2.0)
+            assert knob.base_of(scaled) == pytest.approx(2.0 * knob.base_of(base))
+        # the original is untouched
+        assert base.fork_seconds == SimulationParams().fork_seconds
+        assert base.network.bandwidth_mbps == 100.0
+
+
+class TestSweep:
+    @pytest.fixture(scope="class")
+    def results(self, synthetic_cost_model):
+        return sweep_sensitivity(synthetic_cost_model, level=12, tol=1e-3)
+
+    def test_one_result_per_knob(self, results):
+        assert len(results) == len(KNOBS)
+
+    def test_overhead_knobs_monotone(self, results):
+        for result in results:
+            if result.knob == "bandwidth_mbps":
+                assert result.ct_halved >= result.ct_base >= result.ct_doubled
+            else:
+                assert result.ct_halved <= result.ct_base <= result.ct_doubled
+
+    def test_elasticity_formula(self):
+        result = SensitivityResult(
+            knob="x", base_value=1.0, ct_base=10.0, ct_halved=5.0, ct_doubled=20.0
+        )
+        assert result.elasticity == pytest.approx(1.0)
+        assert result.spread == pytest.approx(1.5)
+
+    def test_deterministic(self, synthetic_cost_model):
+        a = sweep_sensitivity(synthetic_cost_model, level=10, tol=1e-3)
+        b = sweep_sensitivity(synthetic_cost_model, level=10, tol=1e-3)
+        assert [r.ct_doubled for r in a] == [r.ct_doubled for r in b]
+
+    def test_render(self, results):
+        text = render_sensitivity(results)
+        assert "elasticity" in text
+        assert "fork_seconds" in text

@@ -1,0 +1,132 @@
+"""Table 1 regeneration: row structure and the paper's shape claims."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cluster import MultiUserNoise, SimulationParams, uniform_cluster
+from repro.harness import Table1Experiment, render_table1
+from repro.harness.table1 import PAPER_TABLE1, Table1Row
+
+
+@pytest.fixture(scope="module")
+def experiment(synthetic_cost_model):
+    return Table1Experiment(synthetic_cost_model, runs=3, seed=7)
+
+
+@pytest.fixture(scope="module")
+def rows(experiment):
+    return experiment.run_all(levels=range(0, 16, 3), tols=(1e-3,))
+
+
+class TestRowStructure:
+    def test_row_fields(self, experiment):
+        row = experiment.run_level(4, 1e-3)
+        assert row.level == 4
+        assert row.tol == 1e-3
+        assert row.st > 0 and row.ct > 0
+        assert row.su == pytest.approx(row.st / row.ct)
+        assert row.n_workers == 9
+        assert 1 <= row.m <= row.peak_machines
+
+    def test_deterministic_given_seed(self, synthetic_cost_model):
+        a = Table1Experiment(synthetic_cost_model, runs=2, seed=3).run_level(5, 1e-3)
+        b = Table1Experiment(synthetic_cost_model, runs=2, seed=3).run_level(5, 1e-3)
+        assert a.st == b.st and a.ct == b.ct
+
+    def test_different_seeds_differ(self, synthetic_cost_model):
+        a = Table1Experiment(synthetic_cost_model, runs=2, seed=3).run_level(5, 1e-3)
+        b = Table1Experiment(synthetic_cost_model, runs=2, seed=4).run_level(5, 1e-3)
+        assert a.ct != b.ct
+
+    def test_invalid_runs_rejected(self, synthetic_cost_model):
+        with pytest.raises(ValueError):
+            Table1Experiment(synthetic_cost_model, runs=0)
+
+
+class TestPaperShape:
+    """The qualitative claims of §7, asserted against our regeneration."""
+
+    def test_sequential_time_grows_geometrically(self, rows):
+        sts = [r.st for r in rows]
+        assert all(b > a for a, b in zip(sts, sts[1:]))
+        # roughly geometric at the top end
+        assert rows[-1].st / rows[-2].st > 3.0  # 3 levels apart
+
+    def test_no_gain_at_small_levels(self, rows):
+        assert rows[0].su < 0.1  # level 0: hopeless
+        assert rows[1].su < 1.0  # level 3: still below break-even
+
+    def test_gain_at_large_levels(self, rows):
+        assert rows[-1].su > 1.0  # level 15 wins
+
+    def test_speedup_increases_with_level(self, rows):
+        sus = [r.su for r in rows]
+        assert sus[-1] > sus[-2] > sus[0]
+
+    def test_machines_grow_with_level(self, rows):
+        assert rows[-1].m > rows[0].m
+
+    def test_speedup_lags_machines(self, rows):
+        """'the average speedup in a run always lags behind the average
+        number of machines it uses.'"""
+        for row in rows:
+            assert row.su < row.m
+
+    def test_peak_bounded_by_workers_plus_master(self, rows):
+        for row in rows:
+            assert row.peak_machines <= row.n_workers + 1
+
+    def test_tighter_tolerance_costs_more(self, experiment):
+        loose = experiment.run_level(9, 1e-3)
+        tight = experiment.run_level(9, 1e-4)
+        assert tight.st > loose.st
+
+
+class TestAblationsViaConfig:
+    def test_pool_per_diagonal_is_slower(self, synthetic_cost_model):
+        single = Table1Experiment(synthetic_cost_model, runs=2, seed=5)
+        double = Table1Experiment(
+            synthetic_cost_model, runs=2, seed=5, pool_per_diagonal=True
+        )
+        assert double.run_level(12, 1e-3).ct > single.run_level(12, 1e-3).ct
+
+    def test_quiet_cluster_is_faster_on_average(self, synthetic_cost_model):
+        noisy = Table1Experiment(synthetic_cost_model, runs=4, seed=5)
+        quiet = Table1Experiment(
+            synthetic_cost_model,
+            runs=4,
+            seed=5,
+            params=SimulationParams(noise=MultiUserNoise.quiet()),
+        )
+        assert quiet.run_level(12, 1e-3).ct <= noisy.run_level(12, 1e-3).ct
+
+    def test_small_cluster_limits_speedup(self, synthetic_cost_model):
+        big = Table1Experiment(synthetic_cost_model, runs=2, seed=5)
+        small = Table1Experiment(
+            synthetic_cost_model, runs=2, seed=5, cluster=uniform_cluster(4)
+        )
+        assert small.run_level(14, 1e-3).su < big.run_level(14, 1e-3).su
+
+
+class TestRendering:
+    def test_render_contains_all_rows(self, rows):
+        text = render_table1(rows)
+        for row in rows:
+            assert f" {row.level} " in text or f" {row.level} |" in text
+
+    def test_render_includes_paper_columns(self, rows):
+        text = render_table1(rows, compare_paper=True)
+        assert "st(paper)" in text
+
+    def test_render_without_paper(self, rows):
+        text = render_table1(rows, compare_paper=False)
+        assert "st(paper)" not in text
+
+    def test_paper_table_transcription_sane(self):
+        # spot-check the transcription against the paper text
+        assert PAPER_TABLE1[(1.0e-3, 15)] == (2019.02, 259.69, 12.2, 7.8)
+        assert PAPER_TABLE1[(1.0e-4, 0)] == (0.02, 7.68, 1.9, 0.0)
+        for (tol, level), (st, ct, m, su) in PAPER_TABLE1.items():
+            assert su == pytest.approx(st / ct, abs=0.06)

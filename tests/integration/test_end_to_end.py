@@ -1,0 +1,107 @@
+"""Full-pipeline integration: calibrate → simulate → report.
+
+Exercises the exact chain the benchmark harness runs, end to end, on a
+real (small-level) calibration.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.harness import (
+    Table1Experiment,
+    figure1_ebb_flow,
+    figure_speedup_machines,
+    figure_times,
+    render_table1,
+)
+from repro.perf import decompose_run
+from repro.restructured import run_concurrent, run_multiprocessing
+from repro.sparsegrid import SequentialApplication
+
+
+class TestCalibrationPipeline:
+    def test_calibrated_table_has_paper_shape(self, calibrated_cost_model):
+        exp = Table1Experiment(calibrated_cost_model, runs=3, seed=1)
+        rows = exp.run_all(levels=[0, 6, 12, 15], tols=(1e-3,))
+        by_level = {r.level: r for r in rows}
+        # no gain at the bottom, clear gain at the top
+        assert by_level[0].su < 0.1
+        assert by_level[6].su < 1.0
+        assert by_level[15].su > 3.0
+        # machine usage expands with the level
+        assert by_level[15].m > by_level[6].m > by_level[0].m
+        # speedup lags machines everywhere
+        assert all(r.su < r.m for r in rows)
+
+    def test_crossover_near_paper_level(self, calibrated_cost_model):
+        """The paper's break-even sits at level ~10; ours must fall in
+        the same neighbourhood (9-13)."""
+        exp = Table1Experiment(calibrated_cost_model, runs=3, seed=2)
+        crossover = None
+        for level in range(6, 16):
+            if exp.run_level(level, 1e-3).su >= 1.0:
+                crossover = level
+                break
+        assert crossover is not None and 9 <= crossover <= 13
+
+    def test_figures_from_calibrated_rows(self, calibrated_cost_model):
+        exp = Table1Experiment(calibrated_cost_model, runs=2, seed=3)
+        rows = exp.run_all(levels=[3, 9, 15], tols=(1e-3, 1e-4))
+        for fig in (
+            figure_times(rows, 1e-3, 2),
+            figure_speedup_machines(rows, 1e-3, 3),
+            figure_times(rows, 1e-4, 4),
+            figure_speedup_machines(rows, 1e-4, 5),
+        ):
+            assert fig.rendered
+            assert len(fig.x) == 3
+
+    def test_figure1_paper_statistics_neighbourhood(self, calibrated_cost_model):
+        """Level-15 ebb & flow: peak well into the double digits, the
+        weighted average far below the peak (paper: peak 32, avg 11)."""
+        exp = Table1Experiment(calibrated_cost_model, runs=1, seed=4)
+        fig = figure1_ebb_flow(exp, level=15, tol=1e-3)
+        peak = max(fig.series["machines"])
+        assert 10 <= peak <= 32
+
+    def test_overhead_decomposition_of_level15(self, calibrated_cost_model):
+        from repro.cluster import MultiUserNoise, SimulationParams
+
+        exp = Table1Experiment(calibrated_cost_model, runs=1, seed=5)
+        run = exp.simulate_concurrent_once(15, 1e-3, np.random.default_rng(5))
+        quiet_exp = Table1Experiment(
+            calibrated_cost_model,
+            runs=1,
+            seed=5,
+            params=SimulationParams(noise=MultiUserNoise.quiet()),
+        )
+        quiet = quiet_exp.simulate_concurrent_once(15, 1e-3, np.random.default_rng(5))
+        report = decompose_run(run, quiet)
+        assert report.useful_seconds > 0
+        # at level 15 useful work dominates: the gain regime
+        assert report.useful_seconds > report.coordination_seconds
+
+    def test_render_full_table(self, calibrated_cost_model):
+        exp = Table1Experiment(calibrated_cost_model, runs=2, seed=6)
+        rows = exp.run_all(levels=[0, 15], tols=(1e-3, 1e-4))
+        text = render_table1(rows)
+        assert "st(paper)" in text
+        assert text.count("\n") >= 5
+
+
+class TestRealExecutionPipeline:
+    """The actually-executed (non-simulated) path at a small level."""
+
+    def test_three_way_equivalence(self):
+        seq = SequentialApplication(root=2, level=3, tol=1e-3).run()
+        conc, _ = run_concurrent(root=2, level=3, tol=1e-3, timeout=180)
+        mp = run_multiprocessing(root=2, level=3, tol=1e-3, processes=4)
+        assert np.array_equal(seq.combined, conc.combined)
+        assert np.array_equal(seq.combined, mp.combined)
+
+    def test_real_worker_times_feed_cost_records(self):
+        conc, _ = run_concurrent(root=2, level=3, tol=1e-3, timeout=180)
+        assert all(p.wall_seconds > 0 for p in conc.payloads.values())
+        assert all(p.solves > 0 for p in conc.payloads.values())

@@ -1,0 +1,195 @@
+"""Coordinator and runtime edge cases not covered elsewhere."""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.manifold import (
+    BEGIN,
+    AtomicDefinition,
+    Block,
+    Coordinator,
+    Event,
+    ProcessError,
+    ProcessState,
+    Runtime,
+    StateMachineError,
+    run_application,
+)
+from repro.manifold.units import ProcessReference, Unit
+
+
+class TestUnits:
+    def test_unit_sequence_increases(self):
+        a, b = Unit("x"), Unit("y")
+        assert b.seq > a.seq
+
+    def test_reference_detection(self, runtime):
+        proc = runtime.create(AtomicDefinition("p", lambda p: None))
+        assert Unit(ProcessReference(proc)).is_reference()
+        assert not Unit("plain").is_reference()
+
+    def test_reference_name(self, runtime):
+        proc = runtime.create(AtomicDefinition("p", lambda p: None))
+        assert ProcessReference(proc).name == proc.name
+
+
+class TestCoordinatorLifecycle:
+    def test_prebuilt_block_accepted(self, runtime):
+        block = Block("ready")
+
+        @block.state(BEGIN)
+        def begin(ctx):
+            ctx.halt()
+
+        coordinator = Coordinator(runtime, "C", block)
+        coordinator.activate()
+        assert coordinator.join(timeout=5)
+        assert coordinator.state is ProcessState.TERMINATED
+
+    def test_failure_traceback_recorded(self, runtime):
+        def factory():
+            block = Block("bad")
+
+            @block.state(BEGIN)
+            def begin(ctx):
+                raise ValueError("inside state body")
+
+            return block
+
+        coordinator = Coordinator(runtime, "C", factory)
+        coordinator.activate()
+        coordinator.join(timeout=5)
+        assert isinstance(coordinator.failure, ValueError)
+        assert "inside state body" in coordinator.failure_traceback
+
+    def test_kill_unblocks_coordinator(self, runtime):
+        def factory():
+            block = Block("hang")
+
+            @block.state(BEGIN)
+            def begin(ctx):
+                ctx.idle()
+
+            return block
+
+        coordinator = Coordinator(runtime, "C", factory)
+        coordinator.activate()
+        time.sleep(0.05)
+        coordinator.kill()
+        assert coordinator.join(timeout=5)
+
+    def test_deadline_inside_nested_block(self, runtime):
+        def factory():
+            outer = Block("outer")
+
+            @outer.state(BEGIN)
+            def begin(ctx):
+                inner = Block("inner", save_all=True)
+
+                @inner.state(BEGIN)
+                def inner_begin(ictx):
+                    ictx.idle()  # nothing can preempt: save_all shields
+
+                ctx.run_block(inner)
+
+            return outer
+
+        coordinator = Coordinator(
+            runtime, "C", factory, deadline=0.2, poll_interval=0.02
+        )
+        coordinator.activate()
+        assert coordinator.join(timeout=5)
+        assert isinstance(coordinator.failure, StateMachineError)
+
+    def test_top_level_unhandled_event_ends_cleanly(self, runtime):
+        """An event matching no label of the outermost block while it
+        idles must not crash the coordinator (documented as a clean
+        top-level end)."""
+        surprise = Event("surprise")
+
+        def factory():
+            block = Block("only-begin")
+
+            @block.state(BEGIN)
+            def begin(ctx):
+                ctx.halt()
+
+            return block
+
+        coordinator = Coordinator(runtime, "C", factory)
+        runtime.raise_event(surprise)
+        coordinator.activate()
+        assert coordinator.join(timeout=5)
+        assert coordinator.failure is None
+
+
+class TestRunApplication:
+    def test_raises_unhandled_worker_failure(self, runtime):
+        def bad_worker(proc):
+            raise RuntimeError("unhandled")
+
+        def factory():
+            block = Block("Main")
+
+            @block.state(BEGIN)
+            def begin(ctx):
+                worker = ctx.spawn(AtomicDefinition("W", bad_worker))
+                ctx.terminated(worker)
+                ctx.halt()
+
+            return block
+
+        main = Coordinator(runtime, "Main", factory, deadline=10)
+        with pytest.raises(RuntimeError, match="unhandled"):
+            run_application(runtime, main, timeout=10)
+
+    def test_skips_handled_worker_failure(self, runtime):
+        def bad_worker(proc):
+            raise RuntimeError("handled elsewhere")
+
+        def factory():
+            block = Block("Main")
+
+            @block.state(BEGIN)
+            def begin(ctx):
+                worker = ctx.spawn(AtomicDefinition("W", bad_worker))
+                ctx.terminated(worker)
+                worker.failure_handled = True
+                ctx.halt()
+
+            return block
+
+        main = Coordinator(runtime, "Main", factory, deadline=10)
+        run_application(runtime, main, timeout=10)  # must not raise
+
+    def test_timeout_reported(self, runtime):
+        def factory():
+            block = Block("hang")
+
+            @block.state(BEGIN)
+            def begin(ctx):
+                ctx.idle()
+
+            return block
+
+        main = Coordinator(runtime, "Main", factory)
+        with pytest.raises(ProcessError, match="did not finish"):
+            run_application(runtime, main, timeout=0.3)
+
+
+class TestRuntimeTrace:
+    def test_trace_callback_records_lifecycle(self):
+        lines: list[str] = []
+        with Runtime("traced", trace=lines.append) as runtime:
+            proc = runtime.spawn(AtomicDefinition("quick", lambda p: None))
+            proc.join(timeout=5)
+            runtime.raise_event(Event("ping"))
+        text = "\n".join(lines)
+        assert "create quick" in text
+        assert "activate quick" in text
+        assert "death quick" in text
+        assert "event ping" in text
+        assert "shutdown" in text

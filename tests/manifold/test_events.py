@@ -1,0 +1,186 @@
+"""Events and event memories: identity, delivery, matching, scoping."""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from repro.manifold import BEGIN, Event, EventMemory, EventOccurrence
+from repro.manifold.errors import EventError
+
+
+class TestEvent:
+    def test_same_name_is_equal(self):
+        assert Event("go") == Event("go")
+
+    def test_same_name_hashes_equal(self):
+        assert hash(Event("go")) == hash(Event("go"))
+
+    def test_different_names_differ(self):
+        assert Event("go") != Event("stop")
+
+    def test_local_events_with_same_name_differ(self):
+        a = Event.local("death_worker")
+        b = Event.local("death_worker")
+        assert a != b
+
+    def test_local_event_differs_from_global(self):
+        assert Event.local("death_worker") != Event("death_worker")
+
+    def test_local_event_keeps_its_name(self):
+        assert Event.local("death_worker").name == "death_worker"
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(EventError):
+            Event("")
+
+    def test_non_string_name_rejected(self):
+        with pytest.raises(EventError):
+            Event(42)  # type: ignore[arg-type]
+
+    def test_usable_as_dict_key(self):
+        table = {Event("a"): 1, Event("b"): 2}
+        assert table[Event("a")] == 1
+
+
+class TestEventOccurrence:
+    def test_matches_same_event(self):
+        occ = EventOccurrence(Event("go"))
+        assert occ.matches(Event("go"))
+
+    def test_does_not_match_other_event(self):
+        occ = EventOccurrence(Event("go"))
+        assert not occ.matches(Event("stop"))
+
+    def test_source_filter(self):
+        source = object()
+        occ = EventOccurrence(Event("go"), source)  # type: ignore[arg-type]
+        assert occ.matches(Event("go"), source)
+        assert not occ.matches(Event("go"), object())
+
+    def test_sequence_numbers_increase(self):
+        a = EventOccurrence(Event("go"))
+        b = EventOccurrence(Event("go"))
+        assert b.seq > a.seq
+
+
+class TestEventMemory:
+    def match_any(self, *events: Event):
+        targets = set(events)
+
+        def matcher(occ: EventOccurrence):
+            return 0 if occ.event in targets else None
+
+        return matcher
+
+    def test_post_then_take(self):
+        memory = EventMemory()
+        memory.post(Event("go"))
+        occ = memory.take_match(self.match_any(Event("go")))
+        assert occ is not None and occ.event == Event("go")
+
+    def test_take_removes_occurrence(self):
+        memory = EventMemory()
+        memory.post(Event("go"))
+        memory.take_match(self.match_any(Event("go")))
+        assert memory.take_match(self.match_any(Event("go"))) is None
+
+    def test_non_matching_events_are_retained(self):
+        memory = EventMemory()
+        memory.post(Event("other"))
+        assert memory.take_match(self.match_any(Event("go"))) is None
+        assert len(memory) == 1
+
+    def test_fifo_among_equal_priority(self):
+        memory = EventMemory()
+        first = EventOccurrence(Event("go"))
+        second = EventOccurrence(Event("go"))
+        memory.deliver(first)
+        memory.deliver(second)
+        taken = memory.take_match(self.match_any(Event("go")))
+        assert taken is first
+
+    def test_priority_beats_arrival_order(self):
+        memory = EventMemory()
+        memory.post(Event("rendezvous"))
+        memory.post(Event("create_worker"))
+
+        def matcher(occ: EventOccurrence):
+            if occ.event == Event("create_worker"):
+                return 2
+            if occ.event == Event("rendezvous"):
+                return 1
+            return None
+
+        taken = memory.take_match(matcher)
+        assert taken is not None and taken.event == Event("create_worker")
+
+    def test_wait_returns_matching_event(self):
+        memory = EventMemory()
+
+        def poster():
+            time.sleep(0.02)
+            memory.post(Event("go"))
+
+        threading.Thread(target=poster).start()
+        occ = memory.wait_for_match(self.match_any(Event("go")), timeout=2.0)
+        assert occ is not None and occ.event == Event("go")
+
+    def test_wait_timeout_returns_none(self):
+        memory = EventMemory()
+        assert memory.wait_for_match(self.match_any(Event("go")), timeout=0.05) is None
+
+    def test_wait_wakes_on_extra_predicate(self):
+        memory = EventMemory()
+        flag = threading.Event()
+
+        def setter():
+            time.sleep(0.02)
+            flag.set()
+            memory.notify()
+
+        threading.Thread(target=setter).start()
+        result = memory.wait_for_match(
+            self.match_any(Event("go")), timeout=2.0, extra_predicate=flag.is_set
+        )
+        assert result is None
+        assert flag.is_set()
+
+    def test_discard_drops_named_events(self):
+        memory = EventMemory()
+        memory.post(Event("death"))
+        memory.post(Event("death"))
+        memory.post(Event("keep"))
+        dropped = memory.discard([Event("death")])
+        assert dropped == 2
+        assert len(memory) == 1
+
+    def test_discard_where_predicate(self):
+        memory = EventMemory()
+        memory.post(Event("a"))
+        memory.post(Event("b"))
+        dropped = memory.discard_where(lambda occ: occ.event.name == "a")
+        assert dropped == 1
+
+    def test_snapshot_preserves_order(self):
+        memory = EventMemory()
+        memory.post(Event("a"))
+        memory.post(Event("b"))
+        names = [occ.event.name for occ in memory.snapshot()]
+        assert names == ["a", "b"]
+
+    def test_closed_memory_drops_deliveries(self):
+        memory = EventMemory()
+        memory.close()
+        memory.post(Event("go"))
+        assert len(memory) == 0
+
+    def test_closed_memory_wait_returns_none(self):
+        memory = EventMemory()
+        memory.close()
+        assert memory.wait_for_match(self.match_any(Event("go"))) is None
+
+    def test_begin_is_predefined(self):
+        assert BEGIN == Event("begin")

@@ -1,0 +1,266 @@
+"""Ports and streams: wiring, FIFO merging, BK/KK dismantling."""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from repro.manifold import (
+    AtomicDefinition,
+    PortError,
+    Runtime,
+    Stream,
+    StreamError,
+    StreamType,
+)
+
+IDLE_BODY = AtomicDefinition("idle", lambda proc: proc.read())
+
+
+@pytest.fixture()
+def pair(runtime: Runtime):
+    """Two inert processes (ports only; bodies block on read)."""
+    a = runtime.create(IDLE_BODY)
+    b = runtime.create(IDLE_BODY)
+    return a, b
+
+
+class TestStreamWiring:
+    def test_connect_attaches_both_ends(self, pair):
+        a, b = pair
+        stream = Stream().connect(a.output, b.input)
+        assert stream in a.output.attached_streams()
+        assert stream in b.input.attached_streams()
+
+    def test_source_must_be_output_port(self, pair):
+        a, b = pair
+        with pytest.raises(StreamError):
+            Stream().connect(a.input, b.input)
+
+    def test_sink_must_be_input_port(self, pair):
+        a, b = pair
+        with pytest.raises(StreamError):
+            Stream().connect(a.output, b.output)
+
+    def test_double_connect_rejected(self, pair):
+        a, b = pair
+        stream = Stream().connect(a.output, b.input)
+        with pytest.raises(StreamError):
+            stream.connect(a.output, b.input)
+
+    def test_literal_stream_delivers_payload(self, pair):
+        _, b = pair
+        Stream.literal("hello", b.input)
+        assert b.input.try_read() == "hello"
+
+    def test_literal_stream_dies_after_drain(self, pair):
+        _, b = pair
+        stream = Stream.literal("hello", b.input)
+        b.input.try_read()
+        assert stream.is_dead()
+
+    def test_literal_requires_input_port(self, pair):
+        a, _ = pair
+        with pytest.raises(StreamError):
+            Stream.literal("x", a.output)
+
+
+class TestDataFlow:
+    def test_write_then_read(self, pair):
+        a, b = pair
+        Stream().connect(a.output, b.input)
+        a.output.write(41)
+        assert b.input.read(timeout=1.0) == 41
+
+    def test_fifo_within_stream(self, pair):
+        a, b = pair
+        Stream().connect(a.output, b.input)
+        for i in range(5):
+            a.output.write(i)
+        assert [b.input.read(timeout=1.0) for _ in range(5)] == list(range(5))
+
+    def test_merge_across_streams_by_global_order(self, runtime):
+        a = runtime.create(IDLE_BODY)
+        c = runtime.create(IDLE_BODY)
+        b = runtime.create(IDLE_BODY)
+        Stream().connect(a.output, b.input)
+        Stream().connect(c.output, b.input)
+        a.output.write("first")
+        c.output.write("second")
+        a.output.write("third")
+        got = [b.input.read(timeout=1.0) for _ in range(3)]
+        assert got == ["first", "second", "third"]
+
+    def test_write_replicates_to_all_streams(self, runtime):
+        a = runtime.create(IDLE_BODY)
+        b = runtime.create(IDLE_BODY)
+        c = runtime.create(IDLE_BODY)
+        Stream().connect(a.output, b.input)
+        Stream().connect(a.output, c.input)
+        a.output.write("fan")
+        assert b.input.read(timeout=1.0) == "fan"
+        assert c.input.read(timeout=1.0) == "fan"
+
+    def test_read_from_output_rejected(self, pair):
+        a, _ = pair
+        with pytest.raises(PortError):
+            a.output.read(timeout=0.01)
+
+    def test_write_to_input_rejected(self, pair):
+        a, _ = pair
+        with pytest.raises(PortError):
+            a.input.write(1)
+
+    def test_read_blocks_until_unit_arrives(self, pair):
+        a, b = pair
+        Stream().connect(a.output, b.input)
+
+        def writer():
+            time.sleep(0.03)
+            a.output.write("late")
+
+        threading.Thread(target=writer).start()
+        assert b.input.read(timeout=2.0) == "late"
+
+    def test_write_blocks_until_stream_attached(self, pair):
+        a, b = pair
+
+        def connector():
+            time.sleep(0.03)
+            Stream().connect(a.output, b.input)
+
+        threading.Thread(target=connector).start()
+        a.output.write("waited", timeout=2.0)
+        assert b.input.read(timeout=1.0) == "waited"
+
+    def test_read_timeout_raises(self, pair):
+        _, b = pair
+        with pytest.raises(PortError):
+            b.input.read(timeout=0.02)
+
+    def test_write_timeout_without_stream_raises(self, pair):
+        a, _ = pair
+        with pytest.raises(PortError):
+            a.output.write(1, timeout=0.02)
+
+    def test_try_read_returns_none_when_empty(self, pair):
+        _, b = pair
+        assert b.input.try_read() is None
+
+    def test_pending_counts_units(self, pair):
+        a, b = pair
+        Stream().connect(a.output, b.input)
+        a.output.write(1)
+        a.output.write(2)
+        assert b.input.pending() == 2
+
+    def test_interrupt_unblocks_reader(self, pair):
+        _, b = pair
+        error: list[Exception] = []
+
+        def reader():
+            try:
+                b.input.read(timeout=5.0)
+            except PortError as exc:
+                error.append(exc)
+
+        thread = threading.Thread(target=reader)
+        thread.start()
+        time.sleep(0.03)
+        b.input.interrupt()
+        thread.join(timeout=2.0)
+        assert error
+
+    def test_unknown_port_name_rejected(self, pair):
+        a, _ = pair
+        with pytest.raises(PortError):
+            a.port("nonexistent")
+
+
+class TestDismantling:
+    def test_default_stream_type_is_bk(self):
+        assert Stream().type is StreamType.BK
+
+    def test_bk_breaks_source_keeps_sink(self, pair):
+        a, b = pair
+        stream = Stream(StreamType.BK).connect(a.output, b.input)
+        a.output.write("in flight")
+        stream.dismantle()
+        assert stream.source_broken and not stream.sink_broken
+        # in-flight unit still deliverable
+        assert b.input.read(timeout=1.0) == "in flight"
+
+    def test_bk_source_rejects_writes_after_dismantle(self, pair):
+        a, b = pair
+        stream = Stream(StreamType.BK).connect(a.output, b.input)
+        stream.dismantle()
+        assert not stream.accepts_input()
+        with pytest.raises(PortError):
+            a.output.write("too late", timeout=0.02)
+
+    def test_bk_drained_stream_is_dead(self, pair):
+        a, b = pair
+        stream = Stream(StreamType.BK).connect(a.output, b.input)
+        stream.dismantle()
+        assert stream.is_dead()
+
+    def test_kk_survives_dismantle(self, pair):
+        a, b = pair
+        stream = Stream(StreamType.KK).connect(a.output, b.input)
+        stream.dismantle()
+        a.output.write("still flows")
+        assert b.input.read(timeout=1.0) == "still flows"
+
+    def test_bb_discards_in_flight_units(self, pair):
+        a, b = pair
+        stream = Stream(StreamType.BB).connect(a.output, b.input)
+        a.output.write("lost")
+        stream.dismantle()
+        assert stream.is_dead()
+        assert b.input.try_read() is None
+
+    def test_kb_breaks_sink_only(self, pair):
+        a, b = pair
+        stream = Stream(StreamType.KB).connect(a.output, b.input)
+        stream.dismantle()
+        assert stream.sink_broken and not stream.source_broken
+        assert stream not in b.input.attached_streams()
+
+    def test_break_source_detaches_from_producer(self, pair):
+        a, b = pair
+        stream = Stream().connect(a.output, b.input)
+        stream.break_source()
+        assert stream not in a.output.attached_streams()
+
+    def test_push_into_sink_broken_stream_raises(self, pair):
+        a, b = pair
+        stream = Stream().connect(a.output, b.input)
+        stream.break_sink()
+        from repro.manifold.units import Unit
+
+        with pytest.raises(StreamError):
+            stream.push(Unit("x"))
+
+    def test_dead_streams_collected_from_port(self, pair):
+        a, b = pair
+        stream = Stream().connect(a.output, b.input)
+        a.output.write("only one")
+        stream.break_source()
+        assert b.input.read(timeout=1.0) == "only one"
+        assert b.input.try_read() is None  # triggers collection
+        assert stream not in b.input.attached_streams()
+
+    def test_dismantle_is_idempotent(self, pair):
+        a, b = pair
+        stream = Stream().connect(a.output, b.input)
+        stream.dismantle()
+        stream.dismantle()
+        assert stream.source_broken
+
+    def test_stream_type_flags(self):
+        assert StreamType.BK.breaks_source and not StreamType.BK.breaks_sink
+        assert StreamType.KK.breaks_source is False and StreamType.KK.breaks_sink is False
+        assert StreamType.BB.breaks_source and StreamType.BB.breaks_sink
+        assert not StreamType.KB.breaks_source and StreamType.KB.breaks_sink

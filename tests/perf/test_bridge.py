@@ -1,0 +1,94 @@
+"""The real-run → simulation bridge."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cluster.simulator import GridCost
+from repro.perf.bridge import costs_from_run, records_from_run, replay_on_cluster
+from repro.perf.costmodel import CostModel
+from repro.restructured import run_concurrent, run_multiprocessing
+from repro.sparsegrid import SequentialApplication
+
+
+@pytest.fixture(scope="module")
+def sequential_result():
+    return SequentialApplication(root=2, level=2, tol=1e-3).run()
+
+
+@pytest.fixture(scope="module")
+def concurrent_result():
+    result, _ = run_concurrent(root=2, level=2, tol=1e-3, timeout=120)
+    return result
+
+
+class TestCostsFromRun:
+    def test_sequential_run_converts(self, sequential_result):
+        costs = costs_from_run(sequential_result)
+        assert len(costs) == 5
+        assert all(isinstance(c, GridCost) for c in costs)
+        assert all(c.work_ref_seconds > 0 for c in costs)
+
+    def test_loop_order_preserved(self, sequential_result):
+        costs = costs_from_run(sequential_result)
+        assert [(c.l, c.m) for c in costs] == [
+            (0, 1), (1, 0), (0, 2), (1, 1), (2, 0)
+        ]
+
+    def test_concurrent_run_converts(self, concurrent_result):
+        costs = costs_from_run(concurrent_result)
+        assert len(costs) == 5
+
+    def test_multiprocessing_run_converts(self):
+        result = run_multiprocessing(root=2, level=1, tol=1e-3, processes=2)
+        assert len(costs_from_run(result)) == 3
+
+    def test_result_bytes_match_solutions(self, sequential_result):
+        costs = costs_from_run(sequential_result)
+        by_key = {(c.l, c.m): c for c in costs}
+        for key, sub in sequential_result.data.results.items():
+            assert by_key[key].result_bytes == sub.solution.nbytes
+
+    def test_incomplete_run_rejected(self, sequential_result):
+        import copy
+
+        broken = copy.deepcopy(sequential_result)
+        del broken.data.results[(1, 1)]
+        with pytest.raises(ValueError, match="missing grids"):
+            costs_from_run(broken)
+
+
+class TestRecordsFromRun:
+    def test_records_feed_cost_model(self, sequential_result):
+        records = records_from_run(sequential_result)
+        assert len(records) == 5
+        assert all(r.tol == 1e-3 for r in records)
+        # too few for a fit alone, but concatenating runs works; level 5
+        # gives the fit enough dynamic range to stay robust even when
+        # the small-grid timings are noisy under load
+        more = records_from_run(
+            SequentialApplication(root=2, level=5, tol=1e-3).run()
+        )
+        model = CostModel.fit(records + more, root=2, noise_floor_seconds=1e-3)
+        assert model.work_seconds(2, 2, 1e-3) > 0
+
+
+class TestReplay:
+    def test_replay_produces_distributed_run(self, sequential_result):
+        run = replay_on_cluster(sequential_result, seed=3)
+        assert run.n_workers == 5
+        assert run.master_host.name == "bumpa.sen.cwi.nl"
+        assert run.elapsed_seconds > 0
+
+    def test_replay_deterministic(self, sequential_result):
+        a = replay_on_cluster(sequential_result, seed=3)
+        b = replay_on_cluster(sequential_result, seed=3)
+        assert a.elapsed_seconds == b.elapsed_seconds
+
+    def test_replay_overhead_dominated_at_small_level(self, sequential_result):
+        """A level-2 workload is hopeless on the cluster: the simulated
+        concurrent time dwarfs the measured sequential time — the same
+        conclusion as Table 1's small levels."""
+        run = replay_on_cluster(sequential_result, seed=3)
+        assert run.elapsed_seconds > 5 * sequential_result.total_seconds

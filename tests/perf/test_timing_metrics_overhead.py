@@ -1,0 +1,118 @@
+"""Timing protocol, metrics and overhead decomposition."""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.cluster import (
+    GridCost,
+    MultiUserNoise,
+    SimulationParams,
+    simulate_distributed,
+    uniform_cluster,
+)
+from repro.perf import (
+    OverheadReport,
+    decompose_run,
+    speedup,
+    summarize_runs,
+    time_callable,
+)
+
+
+class TestTiming:
+    def test_runs_requested_number_of_times(self):
+        calls = []
+        result = time_callable(lambda: calls.append(1), repeats=5)
+        assert len(calls) == 5
+        assert len(result.samples) == 5
+
+    def test_statistics_consistent(self):
+        result = time_callable(lambda: time.sleep(0.01), repeats=3)
+        assert result.min <= result.mean <= result.max
+        assert result.mean > 0.008
+        assert result.std >= 0.0
+
+    def test_last_value_kept(self):
+        result = time_callable(lambda: 42, repeats=2)
+        assert result.last_value == 42
+
+    def test_spread_ratio(self):
+        result = time_callable(lambda: time.sleep(0.005), repeats=3)
+        assert result.spread_ratio >= 1.0
+
+    def test_invalid_repeats_rejected(self):
+        with pytest.raises(ValueError):
+            time_callable(lambda: None, repeats=0)
+
+
+class TestMetrics:
+    def test_speedup_ratio(self):
+        assert speedup(100.0, 25.0) == pytest.approx(4.0)
+
+    def test_speedup_below_one_for_slower_concurrent(self):
+        assert speedup(1.0, 10.0) == pytest.approx(0.1)
+
+    def test_speedup_validation(self):
+        with pytest.raises(ValueError):
+            speedup(-1.0, 1.0)
+        with pytest.raises(ValueError):
+            speedup(1.0, 0.0)
+
+    def test_summarize_runs(self):
+        stats = summarize_runs([1.0, 2.0, 3.0])
+        assert stats.mean_seconds == pytest.approx(2.0)
+        assert stats.n_runs == 3
+        assert stats.spread_ratio == pytest.approx(3.0)
+
+    def test_summarize_empty_rejected(self):
+        with pytest.raises(ValueError):
+            summarize_runs([])
+
+
+class TestOverheadDecomposition:
+    def make_run(self, noise=None):
+        costs = [
+            GridCost(l=i, m=0, work_ref_seconds=10.0, result_bytes=100_000)
+            for i in range(4)
+        ]
+        params = SimulationParams(noise=noise or MultiUserNoise.quiet())
+        return simulate_distributed(
+            [costs], uniform_cluster(6), params, np.random.default_rng(1)
+        )
+
+    def test_categories_cover_meaningful_time(self):
+        run = self.make_run()
+        report = decompose_run(run)
+        assert report.useful_seconds > 0
+        assert report.concurrency_seconds > 0
+        assert report.coordination_seconds > 0
+        assert report.multiuser_seconds == 0.0
+
+    def test_overhead_fraction_bounded(self):
+        report = decompose_run(self.make_run())
+        assert 0.0 < report.overhead_fraction < 1.0
+
+    def test_multiuser_category_from_quiet_twin(self):
+        noisy = self.make_run(
+            noise=MultiUserNoise(jitter_sigma=0.0, background_probability=1.0)
+        )
+        quiet = self.make_run()
+        report = decompose_run(noisy, quiet)
+        assert report.multiuser_seconds > 0
+
+    def test_as_dict_keys(self):
+        report = decompose_run(self.make_run())
+        assert set(report.as_dict()) == {
+            "elapsed", "useful", "concurrency", "coordination",
+            "multiuser", "overhead_fraction",
+        }
+
+    def test_coordination_smaller_than_concurrency_here(self):
+        """With per-task forks and data shipping, the concurrency
+        category dominates the event/handshake bookkeeping."""
+        report = decompose_run(self.make_run())
+        assert report.concurrency_seconds > report.coordination_seconds

@@ -1,0 +1,154 @@
+"""Hierarchical coordination: a worker that is itself a manager.
+
+IWIM's defining claim (§2): "A process between the lowest and highest
+level may consider itself a worker doing a task for a manager higher in
+the hierarchy, or a manager coordinating processes lower in the
+hierarchy."  This test builds exactly that — a two-level master/worker
+tree where each mid-level worker runs its *own* ``ProtocolMW`` pool —
+using only the public API, with zero changes to the protocol.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.manifold import (
+    BEGIN,
+    AtomicDefinition,
+    Block,
+    Coordinator,
+    Runtime,
+    run_application,
+)
+from repro.protocol import (
+    MasterProtocolClient,
+    WorkerJob,
+    make_worker_definition,
+    protocol_mw,
+)
+
+LEAF_FANOUT = 3
+
+
+def leaf_compute(x: int) -> int:
+    return x * x
+
+
+leaf_worker_defn = make_worker_definition("LeafWorker", leaf_compute)
+
+
+def make_mid_worker(runtime: Runtime) -> AtomicDefinition:
+    """A mid-level worker: outwardly a protocol-compliant worker, but
+    internally the master of its own leaf pool."""
+
+    def mid_compute(chunk: list[int]) -> int:
+        # The mid worker spawns its own sub-master + coordinator running
+        # the very same ProtocolMW over leaf workers.
+        partial: dict[str, int] = {}
+
+        def sub_master_body(proc):
+            client = MasterProtocolClient(proc, timeout=30)
+            results = client.run_pool(
+                [WorkerJob(i, value) for i, value in enumerate(chunk)]
+            )
+            partial["sum"] = sum(r.payload for r in results)
+            client.finished()
+
+        sub_master_defn = AtomicDefinition(
+            "SubMaster", sub_master_body, in_ports=("input", "dataport")
+        )
+
+        def sub_main_body():
+            block = Block("SubMain")
+
+            @block.state(BEGIN)
+            def begin(ctx):
+                sub_master = ctx.spawn(sub_master_defn)
+                ctx.run_block(protocol_mw(sub_master, leaf_worker_defn))
+                ctx.terminated(sub_master)
+                ctx.halt()
+
+            return block
+
+        sub_main = Coordinator(runtime, "SubMain", sub_main_body, deadline=40)
+        sub_main.activate()
+        assert sub_main.join(timeout=45), "sub-coordination hung"
+        if sub_main.failure is not None:
+            raise sub_main.failure
+        return partial["sum"]
+
+    return make_worker_definition("MidWorker", mid_compute)
+
+
+class TestHierarchicalProtocol:
+    def test_two_level_tree_computes_sum_of_squares(self, runtime):
+        chunks = [
+            list(range(i * LEAF_FANOUT, (i + 1) * LEAF_FANOUT)) for i in range(3)
+        ]
+        expected = sum(x * x for chunk in chunks for x in chunk)
+        outcome = {}
+
+        def top_master_body(proc):
+            client = MasterProtocolClient(proc, timeout=60)
+            results = client.run_pool(
+                [WorkerJob(i, chunk) for i, chunk in enumerate(chunks)]
+            )
+            outcome["total"] = sum(r.payload for r in results)
+            client.finished()
+
+        top_master_defn = AtomicDefinition(
+            "TopMaster", top_master_body, in_ports=("input", "dataport")
+        )
+        mid_worker_defn = make_mid_worker(runtime)
+
+        def main_body():
+            block = Block("Main")
+
+            @block.state(BEGIN)
+            def begin(ctx):
+                master = ctx.spawn(top_master_defn)
+                ctx.run_block(protocol_mw(master, mid_worker_defn))
+                ctx.terminated(master)
+                ctx.halt()
+
+            return block
+
+        main = Coordinator(runtime, "Main", main_body, deadline=90)
+        run_application(runtime, main, timeout=90)
+        assert outcome["total"] == expected
+
+    def test_event_scoping_keeps_levels_apart(self, runtime):
+        """Both levels use create_worker/rendezvous events concurrently;
+        the pools stay consistent because each pool's death_worker is a
+        distinct local event and each master reads only its own ports."""
+        chunks = [[1, 2], [3, 4]]
+        outcome = {}
+
+        def top_master_body(proc):
+            client = MasterProtocolClient(proc, timeout=60)
+            results = client.run_pool(
+                [WorkerJob(i, chunk) for i, chunk in enumerate(chunks)]
+            )
+            outcome["parts"] = sorted(r.payload for r in results)
+            client.finished()
+
+        top_master_defn = AtomicDefinition(
+            "TopMaster", top_master_body, in_ports=("input", "dataport")
+        )
+        mid_worker_defn = make_mid_worker(runtime)
+
+        def main_body():
+            block = Block("Main")
+
+            @block.state(BEGIN)
+            def begin(ctx):
+                master = ctx.spawn(top_master_defn)
+                ctx.run_block(protocol_mw(master, mid_worker_defn))
+                ctx.terminated(master)
+                ctx.halt()
+
+            return block
+
+        main = Coordinator(runtime, "Main", main_body, deadline=90)
+        run_application(runtime, main, timeout=90)
+        assert outcome["parts"] == [1 + 4, 9 + 16]

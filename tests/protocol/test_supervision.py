@@ -1,0 +1,172 @@
+"""The supervision extension: worker failures under the protocol.
+
+Without supervision a crashed worker deadlocks the run (the paper's
+protocol has no failure story); with ``supervise=True`` the coordinator
+injects failure units and closes the rendezvous, so the application
+terminates cleanly and can react.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.manifold import (
+    BEGIN,
+    AtomicDefinition,
+    Block,
+    Coordinator,
+    Runtime,
+    run_application,
+)
+from repro.protocol import (
+    FailedWorkerResult,
+    MasterProtocolClient,
+    WorkerJob,
+    WorkerPoolError,
+    make_worker_definition,
+    protocol_mw,
+)
+
+
+def crashing_compute(x):
+    if x % 2 == 1:
+        raise ValueError(f"injected failure on job {x}")
+    return x * 10
+
+
+def run_app(runtime: Runtime, master_defn, worker_defn, supervise: bool, timeout=30.0):
+    def main_body():
+        block = Block("Main")
+
+        @block.state(BEGIN)
+        def begin(ctx):
+            master = ctx.spawn(master_defn)
+            ctx.run_block(protocol_mw(master, worker_defn, supervise=supervise))
+            ctx.terminated(master)
+            ctx.halt()
+
+        return block
+
+    main = Coordinator(runtime, "Main", main_body, deadline=timeout)
+    run_application(runtime, main, timeout=timeout)
+
+
+class TestSupervisedFailures:
+    def test_failures_surface_as_pool_error(self, runtime):
+        worker_defn = make_worker_definition("Worker", crashing_compute)
+        outcome = {}
+
+        def master_body(proc):
+            client = MasterProtocolClient(proc, timeout=20)
+            try:
+                client.run_pool([WorkerJob(i, i) for i in range(6)])
+            except WorkerPoolError as exc:
+                outcome["failures"] = exc.failures
+            client.finished()
+
+        master_defn = AtomicDefinition(
+            "Master", master_body, in_ports=("input", "dataport")
+        )
+        run_app(runtime, master_defn, worker_defn, supervise=True)
+        assert len(outcome["failures"]) == 3
+        assert all(isinstance(f, FailedWorkerResult) for f in outcome["failures"])
+        assert all("injected failure" in f.error for f in outcome["failures"])
+
+    def test_successes_still_delivered(self, runtime):
+        worker_defn = make_worker_definition("Worker", crashing_compute)
+        outcome = {}
+
+        def master_body(proc):
+            client = MasterProtocolClient(proc, timeout=20)
+            results = client.run_pool(
+                [WorkerJob(i, i) for i in range(6)], raise_on_failure=False
+            )
+            outcome["results"] = sorted(r.payload for r in results)
+            outcome["failures"] = client.last_failures
+            client.finished()
+
+        master_defn = AtomicDefinition(
+            "Master", master_body, in_ports=("input", "dataport")
+        )
+        run_app(runtime, master_defn, worker_defn, supervise=True)
+        assert outcome["results"] == [0, 20, 40]
+        assert len(outcome["failures"]) == 3
+
+    def test_all_workers_failing_still_terminates(self, runtime):
+        def always_crash(x):
+            raise RuntimeError("nothing works")
+
+        worker_defn = make_worker_definition("Worker", always_crash)
+        outcome = {}
+
+        def master_body(proc):
+            client = MasterProtocolClient(proc, timeout=20)
+            results = client.run_pool(
+                [WorkerJob(i, i) for i in range(4)], raise_on_failure=False
+            )
+            outcome["results"] = results
+            outcome["failures"] = client.last_failures
+            client.finished()
+
+        master_defn = AtomicDefinition(
+            "Master", master_body, in_ports=("input", "dataport")
+        )
+        run_app(runtime, master_defn, worker_defn, supervise=True)
+        assert outcome["results"] == []
+        assert len(outcome["failures"]) == 4
+
+    def test_next_pool_works_after_failures(self, runtime):
+        worker_defn = make_worker_definition("Worker", crashing_compute)
+        outcome = {}
+
+        def master_body(proc):
+            client = MasterProtocolClient(proc, timeout=30)
+            client.run_pool([WorkerJob(0, 1)], raise_on_failure=False)  # fails
+            results = client.run_pool([WorkerJob(0, 2), WorkerJob(1, 4)])
+            outcome["second"] = sorted(r.payload for r in results)
+            client.finished()
+
+        master_defn = AtomicDefinition(
+            "Master", master_body, in_ports=("input", "dataport")
+        )
+        run_app(runtime, master_defn, worker_defn, supervise=True, timeout=60)
+        assert outcome["second"] == [20, 40]
+
+    def test_clean_pool_unaffected_by_supervision(self, runtime):
+        worker_defn = make_worker_definition("Worker", lambda x: x + 1)
+        outcome = {}
+
+        def master_body(proc):
+            client = MasterProtocolClient(proc, timeout=20)
+            results = client.run_pool([WorkerJob(i, i) for i in range(5)])
+            outcome["results"] = sorted(r.payload for r in results)
+            assert client.last_failures == []
+            client.finished()
+
+        master_defn = AtomicDefinition(
+            "Master", master_body, in_ports=("input", "dataport")
+        )
+        run_app(runtime, master_defn, worker_defn, supervise=True)
+        assert outcome["results"] == [1, 2, 3, 4, 5]
+
+
+class TestUnsupervisedBehaviour:
+    def test_unsupervised_failure_deadlocks_and_times_out(self, runtime):
+        """Faithful paper behaviour: no failure handling — the run can
+        only end via the coordinator deadline."""
+
+        def always_crash(x):
+            raise RuntimeError("crash")
+
+        worker_defn = make_worker_definition("Worker", always_crash)
+
+        def master_body(proc):
+            client = MasterProtocolClient(proc, timeout=3)
+            client.run_pool([WorkerJob(0, 0)])
+            client.finished()
+
+        master_defn = AtomicDefinition(
+            "Master", master_body, in_ports=("input", "dataport")
+        )
+        with pytest.raises(Exception):
+            run_app(runtime, master_defn, worker_defn, supervise=False, timeout=4)

@@ -1,0 +1,93 @@
+"""Real OS task instances with perpetual reuse."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.restructured import TaskInstanceEngine, run_concurrent
+from repro.restructured.worker import SubsolveJobSpec, execute_job
+from repro.sparsegrid import SequentialApplication
+
+
+def spec(l=1, m=1, tol=1e-3):
+    return SubsolveJobSpec(
+        problem_name="rotating-cone", root=2, l=l, m=m, tol=tol, t_end=0.25
+    )
+
+
+class TestComputation:
+    def test_matches_in_process_execution(self):
+        with TaskInstanceEngine() as engine:
+            payload = engine.compute(spec())
+        assert np.array_equal(payload.solution, execute_job(spec()).solution)
+
+    def test_sequential_jobs_reuse_one_instance(self):
+        """The §6 effect, on real processes: five workers, one task
+        instance, because each worker dies before the next arrives."""
+        with TaskInstanceEngine() as engine:
+            for l in range(3):
+                engine.compute(spec(l=l, m=0))
+            stats = engine.stats
+        assert stats.jobs == 3
+        assert stats.spawned == 1
+        assert stats.reused == 2
+
+    def test_non_perpetual_spawns_per_job(self):
+        with TaskInstanceEngine(perpetual=False) as engine:
+            for l in range(3):
+                engine.compute(spec(l=l, m=0))
+            stats = engine.stats
+        assert stats.spawned == 3
+        assert stats.reused == 0
+
+    def test_instance_accounting(self):
+        engine = TaskInstanceEngine()
+        try:
+            engine.compute(spec())
+            assert engine.live_instances == 1
+            assert engine.idle_instances == 1
+        finally:
+            engine.close()
+
+    def test_worker_exception_propagates_and_instance_discarded(self):
+        bad = SubsolveJobSpec(
+            problem_name="no-such-problem", root=2, l=0, m=0, tol=1e-3
+        )
+        with TaskInstanceEngine() as engine:
+            with pytest.raises(RuntimeError, match="task instance failed"):
+                engine.compute(bad)
+            assert engine.live_instances == 0
+            # the engine still works afterwards
+            engine.compute(spec())
+
+    def test_closed_engine_rejects_jobs(self):
+        engine = TaskInstanceEngine()
+        engine.close()
+        with pytest.raises(RuntimeError, match="closed"):
+            engine.compute(spec())
+
+    def test_close_idempotent(self):
+        engine = TaskInstanceEngine()
+        engine.compute(spec())
+        engine.close()
+        engine.close()
+
+    def test_invalid_cap_rejected(self):
+        with pytest.raises(ValueError):
+            TaskInstanceEngine(max_instances=0)
+
+
+class TestThroughProtocol:
+    def test_full_application_bitwise_identical(self):
+        """The complete stack: MANIFOLD coordination, each worker's
+        computation in its own (reusable) OS task instance."""
+        seq = SequentialApplication(root=2, level=1, tol=1e-3).run()
+        with TaskInstanceEngine(max_instances=2) as engine:
+            result, _ = run_concurrent(
+                root=2, level=1, tol=1e-3, engine=engine, timeout=240
+            )
+            stats = engine.stats
+        assert np.array_equal(seq.combined, result.combined)
+        assert stats.jobs == 3
+        assert stats.spawned <= 2  # the cap held; reuse covered the rest

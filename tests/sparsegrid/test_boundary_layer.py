@@ -1,0 +1,85 @@
+"""The advection-dominated boundary-layer problem."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.sparsegrid import Grid, boundary_layer_problem, subsolve
+from repro.sparsegrid.discretize import SpatialOperator
+
+
+@pytest.fixture(scope="module")
+def solved():
+    problem = boundary_layer_problem()
+    grid = Grid(2, 3, 3)
+    return problem, grid, subsolve(problem, grid, tol=1e-3)
+
+
+class TestProblemDefinition:
+    def test_registered(self):
+        from repro.sparsegrid.registry import make_problem
+
+        problem = make_problem("boundary-layer", diffusion=0.01)
+        assert problem.diffusion == 0.01
+
+    def test_inflow_on_left_boundary_only(self):
+        problem = boundary_layer_problem()
+        y = np.linspace(0, 1, 9)
+        left = problem.boundary(np.zeros_like(y), y, 0.0)
+        right = problem.boundary(np.ones_like(y), y, 0.0)
+        assert left.max() > 0.9
+        assert np.all(right == 0.0)
+
+    def test_zero_initial_condition(self):
+        problem = boundary_layer_problem()
+        x = np.linspace(0, 1, 5)
+        assert np.all(problem.initial(x, x) == 0.0)
+
+    def test_velocity_must_enter_domain(self):
+        with pytest.raises(ValueError):
+            boundary_layer_problem(velocity=(-1.0, 0.0))
+
+
+class TestUpwindRobustness:
+    def test_solution_monotone_bounded(self, solved):
+        """Upwind keeps the advection-dominated solution within the
+        data range: no oscillations, no overshoot."""
+        _, _, result = solved
+        assert result.solution.min() >= -1e-10
+        assert result.solution.max() <= 1.0 + 1e-10
+
+    def test_plume_travels_downstream(self, solved):
+        """The inflow profile is carried in +x: interior values near the
+        inflow exceed those near the outflow early in the transient."""
+        problem, grid, _ = solved
+        early = subsolve(problem, grid, tol=1e-3, t_end=0.3)
+        mid = grid.ny // 2
+        upstream = early.solution[2, mid]
+        downstream = early.solution[-3, mid]
+        assert upstream > downstream
+
+    def test_steady_state_reached(self, solved):
+        """By t_end the transient has settled: integrating longer
+        changes almost nothing."""
+        problem, grid, result = solved
+        longer = subsolve(problem, grid, tol=1e-3, t_end=2.5)
+        assert np.max(np.abs(longer.solution - result.solution)) < 0.02
+
+    def test_central_scheme_oscillates_where_upwind_does_not(self):
+        """The textbook contrast on a coarse, strongly advective grid:
+        central differencing undershoots below the data range."""
+        problem = boundary_layer_problem(diffusion=1e-3)
+        grid = Grid(2, 2, 2)
+        up = subsolve(problem, grid, tol=1e-3, scheme="upwind")
+        ce = subsolve(problem, grid, tol=1e-3, scheme="central")
+        assert up.solution.min() >= -1e-8
+        assert ce.solution.min() < up.solution.min() - 1e-4
+
+    def test_adaptive_steps_grow_into_steady_state(self):
+        """The stiff transient then quiet tail: the controller's final
+        step is much larger than its smallest."""
+        problem = boundary_layer_problem()
+        result = subsolve(problem, Grid(2, 3, 3), tol=1e-3, record_history=True)
+        history = result.stats.h_history
+        assert history[-1] > 5 * min(history)

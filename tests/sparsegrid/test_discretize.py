@@ -1,0 +1,165 @@
+"""Spatial operators: consistency, boundary coupling, schemes."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.sparsegrid import Grid, inhomogeneous_problem, manufactured_problem
+from repro.sparsegrid.discretize import SpatialOperator
+
+
+class TestStructure:
+    def test_operator_shapes(self):
+        grid = Grid(2, 1, 0)
+        op = SpatialOperator(grid, manufactured_problem())
+        n_int = grid.n_interior
+        n_bnd = grid.n_nodes - n_int
+        assert op.J.shape == (n_int, n_int)
+        assert op.C.shape == (n_int, n_bnd)
+
+    def test_index_partition_complete(self):
+        grid = Grid(2, 0, 1)
+        op = SpatialOperator(grid, manufactured_problem())
+        all_idx = np.sort(np.concatenate([op.interior_idx, op.boundary_idx]))
+        assert np.array_equal(all_idx, np.arange(grid.n_nodes))
+
+    def test_unknown_scheme_rejected(self):
+        with pytest.raises(ValueError):
+            SpatialOperator(Grid(2, 0, 0), manufactured_problem(), scheme="magic")
+
+    def test_assembly_time_recorded(self):
+        op = SpatialOperator(Grid(2, 1, 1), manufactured_problem())
+        assert op.assembly_seconds > 0
+
+    def test_nnz_positive(self):
+        op = SpatialOperator(Grid(2, 1, 1), manufactured_problem())
+        assert op.nnz > 0
+
+
+class TestConsistency:
+    """Apply the discrete operator to the exact solution: the residual
+    against the exact time derivative must shrink with refinement."""
+
+    def truncation_error(self, problem, level, scheme):
+        grid = Grid(2, level, level)
+        op = SpatialOperator(grid, problem, scheme=scheme)
+        t = 0.1
+        xx, yy = grid.meshgrid()
+        u_full = problem.exact(xx, yy, t)
+        u_int = op.interior_of(u_full)
+        # exact du/dt at interior nodes
+        eps = 1e-6
+        dudt = (
+            problem.exact(xx, yy, t + eps) - problem.exact(xx, yy, t - eps)
+        ) / (2 * eps)
+        dudt_int = op.interior_of(dudt)
+        residual = op.rhs(u_int, t) - dudt_int
+        return float(np.max(np.abs(residual)))
+
+    def test_upwind_first_order(self):
+        problem = manufactured_problem(diffusion=0.05)
+        errors = [self.truncation_error(problem, lvl, "upwind") for lvl in (1, 2, 3)]
+        # halving h should roughly halve the upwind truncation error
+        assert errors[1] < 0.7 * errors[0]
+        assert errors[2] < 0.7 * errors[1]
+
+    def test_central_second_order(self):
+        problem = manufactured_problem(diffusion=0.05)
+        errors = [self.truncation_error(problem, lvl, "central") for lvl in (1, 2, 3)]
+        assert errors[1] < 0.35 * errors[0]
+        assert errors[2] < 0.35 * errors[1]
+
+    def test_central_more_accurate_than_upwind(self):
+        problem = manufactured_problem(diffusion=0.05)
+        up = self.truncation_error(problem, 3, "upwind")
+        ce = self.truncation_error(problem, 3, "central")
+        assert ce < up
+
+    def test_anisotropic_grid_consistent(self):
+        problem = manufactured_problem(diffusion=0.05)
+        grid = Grid(2, 3, 0)
+        op = SpatialOperator(grid, problem)
+        xx, yy = grid.meshgrid()
+        t = 0.1
+        u_int = op.interior_of(problem.exact(xx, yy, t))
+        eps = 1e-6
+        dudt = op.interior_of(
+            (problem.exact(xx, yy, t + eps) - problem.exact(xx, yy, t - eps))
+            / (2 * eps)
+        )
+        residual = op.rhs(u_int, t) - dudt
+        # consistency in the coarse (y) direction bounds the error
+        assert np.max(np.abs(residual)) < 2.0
+
+
+class TestBoundaryCoupling:
+    def test_inhomogeneous_boundary_enters_forcing(self):
+        problem = inhomogeneous_problem()
+        op = SpatialOperator(Grid(2, 1, 1), problem)
+        f_with = op.forcing(0.0)
+        assert np.any(np.abs(op.C @ op.boundary_values(0.0)) > 0)
+        assert np.linalg.norm(f_with) > 0
+
+    def test_homogeneous_boundary_gives_zero_coupling(self):
+        problem = manufactured_problem()
+        op = SpatialOperator(Grid(2, 1, 1), problem)
+        assert np.allclose(op.C @ op.boundary_values(0.3), 0.0)
+
+    def test_full_solution_roundtrip(self):
+        problem = inhomogeneous_problem()
+        grid = Grid(2, 1, 2)
+        op = SpatialOperator(grid, problem)
+        u_int = np.arange(grid.n_interior, dtype=float)
+        full = op.full_solution(u_int, t=0.2)
+        assert full.shape == grid.shape
+        assert np.array_equal(op.interior_of(full), u_int)
+
+    def test_full_solution_boundary_values(self):
+        problem = inhomogeneous_problem()
+        grid = Grid(2, 1, 1)
+        op = SpatialOperator(grid, problem)
+        t = 0.4
+        full = op.full_solution(np.zeros(grid.n_interior), t)
+        xx, yy = grid.meshgrid()
+        exact_boundary = problem.boundary(xx, yy, t)
+        assert np.allclose(full[0, :], exact_boundary[0, :])
+        assert np.allclose(full[-1, :], exact_boundary[-1, :])
+        assert np.allclose(full[:, 0], exact_boundary[:, 0])
+        assert np.allclose(full[:, -1], exact_boundary[:, -1])
+
+    def test_initial_interior_matches_problem(self):
+        problem = manufactured_problem()
+        grid = Grid(2, 1, 1)
+        op = SpatialOperator(grid, problem)
+        xx, yy = grid.interior_meshgrid()
+        assert np.allclose(
+            op.initial_interior(), problem.initial(xx, yy).reshape(-1)
+        )
+
+
+class TestUpwindDirection:
+    def test_upwind_follows_velocity_sign(self):
+        """For pure advection with a > 0, the upwind operator uses the
+        left neighbour: the row for node i has a negative coefficient on
+        i-1 in x."""
+        import scipy.sparse as sp
+
+        from repro.sparsegrid.problem import AdvectionDiffusionProblem
+
+        problem = AdvectionDiffusionProblem(
+            name="pure-advection",
+            velocity_x=lambda x, y: np.ones(np.broadcast(x, y).shape),
+            velocity_y=lambda x, y: np.zeros(np.broadcast(x, y).shape),
+            diffusion=0.0,
+            initial=lambda x, y: np.zeros(np.broadcast(x, y).shape),
+            boundary=lambda x, y, t: np.zeros(np.broadcast(x, y).shape),
+        )
+        grid = Grid(2, 0, 0)
+        op = SpatialOperator(grid, problem, scheme="upwind")
+        J = op.J.toarray()
+        ny_int = grid.ny - 1
+        # interior node (i, j) couples to (i-1, j): offset -ny_int
+        diag_lower = np.diagonal(J, -ny_int)
+        assert np.all(diag_lower >= 0)  # -a * (-1/h) > 0 on the left neighbour
+        assert np.all(np.diagonal(J) <= 0)

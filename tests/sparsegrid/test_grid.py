@@ -1,0 +1,116 @@
+"""Grid family, nested-loop enumeration, combination coefficients."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.sparsegrid import Grid, combination_grids, nested_loop_grids
+
+
+class TestGrid:
+    def test_cell_counts_are_dyadic(self):
+        g = Grid(2, 3, 1)
+        assert g.nx == 2 ** 5
+        assert g.ny == 2 ** 3
+
+    def test_mesh_widths(self):
+        g = Grid(2, 1, 0)
+        assert g.hx == pytest.approx(1 / 8)
+        assert g.hy == pytest.approx(1 / 4)
+
+    def test_shapes(self):
+        g = Grid(1, 1, 2)
+        assert g.shape == (g.nx + 1, g.ny + 1)
+        assert g.interior_shape == (g.nx - 1, g.ny - 1)
+        assert g.n_interior == (g.nx - 1) * (g.ny - 1)
+        assert g.n_nodes == (g.nx + 1) * (g.ny + 1)
+
+    def test_diagonal_and_anisotropy(self):
+        g = Grid(2, 4, 1)
+        assert g.diagonal == 5
+        assert g.anisotropy == 3
+        assert Grid(2, 2, 2).anisotropy == 0
+
+    def test_nodes_span_unit_interval(self):
+        g = Grid(2, 0, 0)
+        x = g.x_nodes()
+        assert x[0] == 0.0 and x[-1] == 1.0
+        assert len(x) == g.nx + 1
+        assert np.allclose(np.diff(x), g.hx)
+
+    def test_meshgrid_indexing(self):
+        g = Grid(1, 0, 1)
+        xx, yy = g.meshgrid()
+        assert xx.shape == g.shape
+        assert xx[1, 0] == pytest.approx(g.hx)
+        assert yy[0, 1] == pytest.approx(g.hy)
+
+    def test_interior_meshgrid_excludes_boundary(self):
+        g = Grid(1, 1, 1)
+        xx, yy = g.interior_meshgrid()
+        assert xx.shape == g.interior_shape
+        assert xx.min() > 0 and xx.max() < 1
+
+    def test_sample_evaluates_field(self):
+        g = Grid(1, 0, 0)
+        values = g.sample(lambda x, y: x + 2 * y)
+        xx, yy = g.meshgrid()
+        assert np.allclose(values, xx + 2 * yy)
+
+    def test_negative_indices_rejected(self):
+        with pytest.raises(ValueError):
+            Grid(2, -1, 0)
+        with pytest.raises(ValueError):
+            Grid(-1, 0, 0)
+
+    def test_equality_and_hash(self):
+        assert Grid(2, 1, 1) == Grid(2, 1, 1)
+        assert len({Grid(2, 1, 1), Grid(2, 1, 1)}) == 1
+
+
+class TestNestedLoop:
+    def test_worker_count_relation(self):
+        """The paper's w = 2*level + 1."""
+        for level in range(0, 8):
+            assert len(nested_loop_grids(2, level)) == 2 * level + 1
+
+    def test_level_zero_visits_single_grid(self):
+        grids = nested_loop_grids(2, 0)
+        assert [(g.l, g.m) for g in grids] == [(0, 0)]
+
+    def test_loop_order_matches_paper(self):
+        """lm ascends over {level-1, level}; l ascends inside."""
+        grids = nested_loop_grids(2, 2)
+        assert [(g.l, g.m) for g in grids] == [
+            (0, 1), (1, 0),            # lm = 1
+            (0, 2), (1, 1), (2, 0),    # lm = 2
+        ]
+
+    def test_all_grids_on_two_diagonals(self):
+        for grid in nested_loop_grids(3, 4):
+            assert grid.diagonal in (3, 4)
+
+    def test_negative_level_rejected(self):
+        with pytest.raises(ValueError):
+            nested_loop_grids(2, -1)
+
+    def test_root_propagates(self):
+        assert all(g.root == 3 for g in nested_loop_grids(3, 2))
+
+
+class TestCombinationGrids:
+    def test_coefficients_plus_one_on_top_diagonal(self):
+        for grid, coeff in combination_grids(2, 3):
+            expected = 1 if grid.diagonal == 3 else -1
+            assert coeff == expected
+
+    def test_level_zero_has_only_positive_term(self):
+        pairs = list(combination_grids(2, 0))
+        assert pairs == [(Grid(2, 0, 0), 1)]
+
+    def test_coefficient_sum_is_one(self):
+        """The combination formula must reproduce constants: the
+        coefficients sum to +1."""
+        for level in range(0, 6):
+            assert sum(c for _, c in combination_grids(2, level)) == 1

@@ -1,0 +1,115 @@
+"""Problem definitions: PDE consistency of the manufactured solutions."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.sparsegrid import (
+    AdvectionDiffusionProblem,
+    inhomogeneous_problem,
+    manufactured_problem,
+    rotating_cone_problem,
+)
+from repro.sparsegrid.registry import PROBLEMS, make_problem, register_problem
+
+
+def pde_residual(problem, x, y, t, eps=1e-5):
+    """u_t + a·grad(u) - D lap(u) - s, via central finite differences of
+    the *exact* solution — must vanish for a correct manufactured source."""
+    u = problem.exact
+    ut = (u(x, y, t + eps) - u(x, y, t - eps)) / (2 * eps)
+    ux = (u(x + eps, y, t) - u(x - eps, y, t)) / (2 * eps)
+    uy = (u(x, y + eps, t) - u(x, y - eps, t)) / (2 * eps)
+    uxx = (u(x + eps, y, t) - 2 * u(x, y, t) + u(x - eps, y, t)) / eps**2
+    uyy = (u(x, y + eps, t) - 2 * u(x, y, t) + u(x, y - eps, t)) / eps**2
+    a1 = problem.velocity_x(x, y)
+    a2 = problem.velocity_y(x, y)
+    s = problem.source_or_zero(x, y, t)
+    return ut + a1 * ux + a2 * uy - problem.diffusion * (uxx + uyy) - s
+
+
+@pytest.mark.parametrize(
+    "factory", [manufactured_problem, inhomogeneous_problem]
+)
+class TestManufacturedConsistency:
+    def test_exact_solution_satisfies_pde(self, factory):
+        problem = factory()
+        rng = np.random.default_rng(0)
+        x = rng.uniform(0.15, 0.85, 40)
+        y = rng.uniform(0.15, 0.85, 40)
+        for t in (0.05, 0.3):
+            residual = pde_residual(problem, x, y, t)
+            assert np.max(np.abs(residual)) < 1e-5
+
+    def test_initial_matches_exact_at_t0(self, factory):
+        problem = factory()
+        x = np.linspace(0, 1, 9)
+        y = np.linspace(0, 1, 9)
+        assert np.allclose(problem.initial(x, y), problem.exact(x, y, 0.0))
+
+    def test_boundary_matches_exact(self, factory):
+        problem = factory()
+        xb = np.array([0.0, 1.0, 0.3, 0.7])
+        yb = np.array([0.4, 0.6, 0.0, 1.0])
+        t = 0.2
+        assert np.allclose(
+            problem.boundary(xb, yb, t), problem.exact(xb, yb, t), atol=1e-12
+        )
+
+
+class TestRotatingCone:
+    def test_initial_peak_at_centre(self):
+        problem = rotating_cone_problem(centre=(0.5, 0.75))
+        assert problem.initial(np.array(0.5), np.array(0.75)) == pytest.approx(1.0)
+
+    def test_velocity_is_solid_body_rotation(self):
+        problem = rotating_cone_problem()
+        x = np.array([0.5, 0.9])
+        y = np.array([0.9, 0.5])
+        a1 = problem.velocity_x(x, y)
+        a2 = problem.velocity_y(x, y)
+        # divergence-free rotation about (0.5, 0.5): a . r_perp pattern
+        assert a1[0] < 0 and abs(a2[0]) < 1e-12
+        assert abs(a1[1]) < 1e-12 and a2[1] > 0
+
+    def test_no_exact_solution(self):
+        assert rotating_cone_problem().exact is None
+
+    def test_zero_source(self):
+        problem = rotating_cone_problem()
+        x = np.linspace(0, 1, 5)
+        assert np.all(problem.source_or_zero(x, x, 0.1) == 0.0)
+
+
+class TestValidation:
+    def test_negative_diffusion_rejected(self):
+        with pytest.raises(ValueError):
+            manufactured_problem(diffusion=-1.0)
+
+    def test_nonpositive_t_end_rejected(self):
+        with pytest.raises(ValueError):
+            rotating_cone_problem(t_end=0.0)
+
+
+class TestRegistry:
+    def test_builtin_problems_registered(self):
+        assert {"manufactured", "inhomogeneous", "rotating-cone"} <= set(PROBLEMS)
+
+    def test_make_problem_with_kwargs(self):
+        problem = make_problem("rotating-cone", diffusion=0.01)
+        assert problem.diffusion == 0.01
+
+    def test_unknown_problem_rejected(self):
+        with pytest.raises(KeyError):
+            make_problem("nonexistent")
+
+    def test_register_and_use(self):
+        name = "test-custom-problem"
+        if name not in PROBLEMS:
+            register_problem(name, lambda **kw: manufactured_problem(**kw))
+        assert make_problem(name).diffusion == manufactured_problem().diffusion
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(ValueError):
+            register_problem("rotating-cone", rotating_cone_problem)

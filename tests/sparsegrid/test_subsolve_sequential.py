@@ -1,0 +1,119 @@
+"""``subsolve`` and the sequential driver."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.sparsegrid import (
+    Grid,
+    SequentialApplication,
+    manufactured_problem,
+    rotating_cone_problem,
+    subsolve,
+)
+
+
+class TestSubsolve:
+    def test_returns_full_node_array(self):
+        grid = Grid(2, 1, 1)
+        result = subsolve(manufactured_problem(t_end=0.2), grid, tol=1e-3)
+        assert result.solution.shape == grid.shape
+
+    def test_boundary_values_imposed(self):
+        problem = manufactured_problem(t_end=0.2)
+        result = subsolve(problem, Grid(2, 1, 1), tol=1e-3)
+        # homogeneous Dirichlet: boundary must be exactly zero
+        assert np.allclose(result.solution[0, :], 0.0)
+        assert np.allclose(result.solution[:, -1], 0.0)
+
+    def test_self_contained_and_deterministic(self):
+        """The cut criterion: subsolve reads/writes only its own grid,
+        so two calls with identical inputs agree bitwise."""
+        problem = rotating_cone_problem(t_end=0.25)
+        a = subsolve(problem, Grid(2, 2, 1), tol=1e-3)
+        b = subsolve(problem, Grid(2, 2, 1), tol=1e-3)
+        assert np.array_equal(a.solution, b.solution)
+
+    def test_explicit_t_end_overrides_problem(self):
+        problem = manufactured_problem(t_end=1.0)
+        short = subsolve(problem, Grid(2, 1, 1), tol=1e-3, t_end=0.1)
+        long = subsolve(problem, Grid(2, 1, 1), tol=1e-3, t_end=0.5)
+        assert not np.array_equal(short.solution, long.solution)
+
+    def test_work_units_positive(self):
+        result = subsolve(manufactured_problem(t_end=0.2), Grid(2, 1, 1), tol=1e-3)
+        assert result.work_units > 0
+        assert result.wall_seconds > 0
+
+    def test_accuracy_against_exact(self):
+        problem = manufactured_problem(diffusion=0.02, t_end=0.3)
+        grid = Grid(2, 3, 3)
+        result = subsolve(problem, grid, tol=1e-5)
+        xx, yy = grid.meshgrid()
+        err = np.max(np.abs(result.solution - problem.exact(xx, yy, 0.3)))
+        assert err < 0.05
+
+
+class TestSequentialApplication:
+    def test_run_produces_complete_data(self):
+        app = SequentialApplication(root=2, level=2, tol=1e-3)
+        result = app.run()
+        assert result.data.complete
+        assert result.n_grids == 5
+
+    def test_worker_count_property(self):
+        assert SequentialApplication(level=4).n_workers == 9
+        assert SequentialApplication(level=0).n_workers == 1
+
+    def test_timings_partition_total(self):
+        result = SequentialApplication(root=2, level=2, tol=1e-3).run()
+        parts = (
+            result.init_seconds
+            + result.subsolve_seconds
+            + result.prolongation_seconds
+        )
+        assert parts == pytest.approx(result.total_seconds, rel=0.05)
+
+    def test_grid_seconds_reported_per_grid(self):
+        result = SequentialApplication(root=2, level=2, tol=1e-3).run()
+        assert set(result.grid_seconds) == {
+            (0, 1), (1, 0), (0, 2), (1, 1), (2, 0)
+        }
+        assert all(s > 0 for s in result.grid_seconds.values())
+
+    def test_observer_hook_sees_each_grid(self):
+        seen = []
+        app = SequentialApplication(
+            root=2, level=2, tol=1e-3, on_grid_done=lambda r: seen.append(r.grid)
+        )
+        app.run()
+        assert len(seen) == 5
+
+    def test_prolongate_requires_complete_data(self):
+        app = SequentialApplication(root=2, level=2, tol=1e-3)
+        data = app.initialize()
+        with pytest.raises(ValueError, match="missing grids"):
+            app.prolongate(data)
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            SequentialApplication(root=-1)
+        with pytest.raises(ValueError):
+            SequentialApplication(level=-1)
+        with pytest.raises(ValueError):
+            SequentialApplication(tol=0.0)
+
+    def test_target_cap_respected(self):
+        app = SequentialApplication(root=2, level=3, tol=1e-3, target_cap=2)
+        result = app.run()
+        assert (result.target_grid.l, result.target_grid.m) == (2, 2)
+
+    def test_default_problem_is_rotating_cone(self):
+        app = SequentialApplication()
+        assert "rotating-cone" in app.problem.name
+
+    def test_rerun_is_bitwise_reproducible(self):
+        a = SequentialApplication(root=2, level=2, tol=1e-3).run()
+        b = SequentialApplication(root=2, level=2, tol=1e-3).run()
+        assert np.array_equal(a.combined, b.combined)

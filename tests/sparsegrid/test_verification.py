@@ -1,0 +1,120 @@
+"""Verification utilities and the headline convergence claims."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.sparsegrid import Grid, manufactured_problem, rotating_cone_problem
+from repro.sparsegrid.verification import (
+    ConvergenceStudy,
+    combination_study,
+    discrete_mass,
+    error_norms,
+    single_grid_study,
+)
+
+
+class TestErrorNorms:
+    def test_zero_error(self):
+        a = np.ones((4, 4))
+        norms = error_norms(a, a)
+        assert norms == {"max": 0.0, "l2": 0.0, "l1": 0.0}
+
+    def test_norm_ordering(self):
+        rng = np.random.default_rng(0)
+        a = rng.normal(size=(8, 8))
+        norms = error_norms(a, np.zeros_like(a))
+        assert norms["l1"] <= norms["l2"] <= norms["max"]
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            error_norms(np.zeros((2, 2)), np.zeros((3, 3)))
+
+
+class TestStudyBookkeeping:
+    def test_orders_from_halving(self):
+        study = ConvergenceStudy("synthetic", "max")
+        study.add(1, 1.0, 0.0)
+        study.add(2, 0.25, 0.0)  # order 2
+        study.add(3, 0.125, 0.0)  # order 1
+        assert study.rows[0].order is None
+        assert study.rows[1].order == pytest.approx(2.0)
+        assert study.rows[2].order == pytest.approx(1.0)
+        assert study.observed_order == pytest.approx(1.5)
+
+    def test_multi_level_steps(self):
+        study = ConvergenceStudy("synthetic", "max")
+        study.add(1, 1.0, 0.0)
+        study.add(3, 0.25, 0.0)  # two steps, factor 4 => order 1
+        assert study.rows[1].order == pytest.approx(1.0)
+
+    def test_is_converging(self):
+        study = ConvergenceStudy("synthetic", "max")
+        for level, err in [(1, 1.0), (2, 0.6), (3, 0.7)]:
+            study.add(level, err, 0.0)
+        assert not study.is_converging()
+
+    def test_order_requires_two_rows(self):
+        study = ConvergenceStudy("synthetic", "max")
+        study.add(1, 1.0, 0.0)
+        with pytest.raises(ValueError):
+            study.observed_order
+
+    def test_render(self):
+        study = ConvergenceStudy("synthetic", "max")
+        study.add(1, 1.0, 0.1)
+        study.add(2, 0.5, 0.2)
+        text = study.render()
+        assert "synthetic" in text and "order 1.00" in text
+
+
+class TestNumericalOrders:
+    """The 'good convergence rates' of the original developers."""
+
+    @pytest.fixture(scope="class")
+    def problem(self):
+        return manufactured_problem(diffusion=0.05, t_end=0.25)
+
+    def test_upwind_first_order(self, problem):
+        study = single_grid_study(problem, levels=[1, 2, 3, 4], scheme="upwind")
+        assert study.is_converging()
+        assert 0.6 < study.observed_order < 1.5
+
+    def test_central_second_order(self, problem):
+        study = single_grid_study(problem, levels=[1, 2, 3, 4], scheme="central")
+        assert study.is_converging()
+        assert 1.5 < study.observed_order < 2.6
+
+    def test_combination_converges(self, problem):
+        study = combination_study(problem, levels=[1, 2, 3, 4])
+        assert study.is_converging()
+        assert study.observed_order > 0.5
+
+    def test_requires_exact_solution(self):
+        with pytest.raises(ValueError):
+            single_grid_study(rotating_cone_problem(), levels=[1, 2])
+
+
+class TestMass:
+    def test_constant_field_mass(self):
+        grid = Grid(2, 1, 1)
+        values = np.full(grid.shape, 3.0)
+        assert discrete_mass(values, grid) == pytest.approx(3.0)
+
+    def test_shape_checked(self):
+        with pytest.raises(ValueError):
+            discrete_mass(np.zeros((3, 3)), Grid(2, 1, 1))
+
+    def test_diffusion_preserves_mass_roughly(self):
+        """Pure rotation+weak diffusion of a compactly supported blob:
+        mass changes little over a short time."""
+        from repro.sparsegrid import subsolve
+
+        problem = rotating_cone_problem(diffusion=1e-4, t_end=0.1)
+        grid = Grid(2, 3, 3)
+        xx, yy = grid.meshgrid()
+        m0 = discrete_mass(problem.initial(xx, yy), grid)
+        result = subsolve(problem, grid, tol=1e-5)
+        m1 = discrete_mass(result.solution, grid)
+        assert abs(m1 - m0) / m0 < 0.35  # upwind diffusion loses some

@@ -1,0 +1,139 @@
+"""The command-line interface."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+from tests.conftest import synthetic_records
+
+
+@pytest.fixture(scope="module")
+def model_file(tmp_path_factory):
+    """A synthetic calibration file so CLI tests skip real calibration."""
+    from repro.perf.costmodel import CostModel
+
+    model = CostModel.fit(synthetic_records(), root=2)
+    path = tmp_path_factory.mktemp("cli") / "model.json"
+    model.to_json(path)
+    return str(path)
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["frobnicate"])
+
+    def test_defaults_match_paper(self):
+        args = build_parser().parse_args(["run-sequential"])
+        assert args.root == 2
+        assert args.tol == 1.0e-3
+
+    def test_table1_levels_parsed(self):
+        args = build_parser().parse_args(["table1", "--levels", "0", "5", "15"])
+        assert args.levels == [0, 5, 15]
+
+
+class TestCommands:
+    def test_run_sequential(self, capsys):
+        assert main(["run-sequential", "--level", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "grids: 3" in out
+        assert "total" in out
+
+    def test_run_concurrent_with_verify(self, capsys):
+        assert main(["run-concurrent", "--level", "1", "--verify"]) == 0
+        out = capsys.readouterr().out
+        assert "workers: 3" in out
+        assert "bitwise identical to sequential: True" in out
+
+    def test_run_concurrent_pool_per_diagonal(self, capsys):
+        assert main([
+            "run-concurrent", "--level", "1", "--pool-per-diagonal", "--verify"
+        ]) == 0
+        assert "True" in capsys.readouterr().out
+
+    def test_calibrate_writes_model(self, tmp_path, capsys):
+        out_path = tmp_path / "cal.json"
+        code = main([
+            "calibrate", "--levels", "3", "4", "--tols", "1e-3",
+            "--output", str(out_path),
+        ])
+        assert code == 0
+        payload = json.loads(out_path.read_text())
+        assert "wall_coefficients" in payload
+
+    def test_table1_from_model_file(self, model_file, capsys):
+        code = main([
+            "table1", "--model", model_file, "--levels", "0", "15",
+            "--tols", "1e-3", "--runs", "2",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "st(paper)" in out
+        assert " 15 " in out
+
+    def test_trace_from_model_file(self, model_file, capsys):
+        code = main(["trace", "--model", model_file, "--level", "2"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "-> Welcome" in out
+        assert "-> Bye" in out
+        assert "bumpa.sen.cwi.nl" in out
+
+    def test_figures_from_model_file(self, model_file, capsys):
+        code = main([
+            "figures", "--model", model_file, "--max-level", "8", "--runs", "2",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Figure 1" in out
+        assert "Figure 5" in out
+
+    def test_ablations_from_model_file(self, model_file, capsys):
+        code = main([
+            "ablations", "--model", model_file, "--level", "10",
+            "--scenarios", "paper", "no-perpetual",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "paper" in out
+        assert "no-perpetual" in out
+
+    def test_ablations_unknown_scenario_fails(self, model_file):
+        with pytest.raises(KeyError):
+            main([
+                "ablations", "--model", model_file, "--scenarios", "warp-drive",
+            ])
+
+    def test_experiments_index(self, capsys):
+        assert main(["experiments"]) == 0
+        out = capsys.readouterr().out
+        assert "E1" in out and "Table 1" in out
+
+    def test_experiments_quick_run(self, model_file, capsys):
+        assert main(["experiments", "--run", "e7", "--model", model_file]) == 0
+        out = capsys.readouterr().out
+        assert "-> Welcome" in out
+
+    def test_experiments_bench_only_entry(self, model_file, capsys):
+        assert main(["experiments", "--run", "E10", "--model", model_file]) == 0
+        out = capsys.readouterr().out
+        assert "use the bench" in out
+
+    def test_module_entry_point(self):
+        import subprocess
+        import sys
+
+        result = subprocess.run(
+            [sys.executable, "-m", "repro", "run-sequential", "--level", "0"],
+            capture_output=True, text=True, timeout=120,
+        )
+        assert result.returncode == 0
+        assert "grids: 1" in result.stdout

@@ -1,0 +1,63 @@
+"""Every example script must run cleanly end to end.
+
+Examples are executed as subprocesses with small parameters so the
+whole file stays under a minute; each one's key output lines are
+checked, not just the exit code.
+"""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name: str, *args: str, timeout: float = 240.0):
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / name), *args],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+    )
+    assert result.returncode == 0, (
+        f"{name} failed:\nstdout:\n{result.stdout}\nstderr:\n{result.stderr}"
+    )
+    return result.stdout
+
+
+class TestExamples:
+    def test_quickstart(self):
+        out = run_example("quickstart.py", "2")
+        assert "results bitwise identical: True" in out
+        assert "grids solved: 5" in out
+
+    def test_transport_solver(self):
+        out = run_example("transport_solver.py", "3")
+        assert "convergence" in out
+        assert "better" in out
+        assert "imbalance" in out
+
+    def test_custom_coordination(self):
+        out = run_example("custom_coordination.py", "4", "20000")
+        assert "pi ~" in out
+        assert "unmodified ProtocolMW" in out
+
+    def test_distributed_cluster_demo(self):
+        out = run_example("distributed_cluster_demo.py", "8")
+        assert "-> Welcome" in out
+        assert "ebb & flow" in out
+        assert "overhead decomposition" in out
+
+    def test_failure_handling(self):
+        out = run_example("failure_handling.py")
+        assert "watchdog: no coordination activity" in out
+        assert "failure handled" in out
+
+    def test_table1_reproduction_small(self):
+        out = run_example("table1_reproduction.py", "6", timeout=300)
+        assert "st(paper)" in out
+        assert "Figure 5" in out
