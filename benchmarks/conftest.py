@@ -7,6 +7,7 @@ repeated benchmark invocations skip the ~10 s of measurement.
 
 from __future__ import annotations
 
+import os
 from pathlib import Path
 
 import pytest
@@ -17,6 +18,32 @@ from repro.perf.costmodel import CostModel, measure_costs
 CACHE = Path(__file__).parent / ".calibration.json"
 CALIBRATION_LEVELS = [4, 5, 6]
 TOLS = [1.0e-3, 1.0e-4]
+
+#: ``REPRO_WARM_PATH_FULL=1`` switches bench_warm_path from the fast
+#: smoke mode (default, runs inside the tier-1 suite so the cold/warm
+#: ratio lands in every bench JSON trajectory) to the full measurement.
+WARM_PATH_FULL = os.environ.get("REPRO_WARM_PATH_FULL", "") not in ("", "0")
+
+
+@pytest.fixture(scope="session")
+def warm_path_settings() -> dict:
+    """Configuration of the warm-path bench: mid-size level either way,
+    the full mode just runs more rounds and a tighter makespan tol."""
+    if WARM_PATH_FULL:
+        return {
+            "full": True,
+            "level": 5, "tol": 1.0e-3,
+            "cold_rounds": 3, "warm_rounds": 5,
+            "makespan_level": 6, "makespan_tol": 1.0e-4,
+            "makespan_workers": 8,
+        }
+    return {
+        "full": False,
+        "level": 5, "tol": 1.0e-3,
+        "cold_rounds": 2, "warm_rounds": 3,
+        "makespan_level": 6, "makespan_tol": 1.0e-3,
+        "makespan_workers": 8,
+    }
 
 
 @pytest.fixture(scope="session")

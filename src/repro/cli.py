@@ -5,6 +5,9 @@ Commands mirror the workflow of the paper:
 * ``run-sequential`` — the original program (``SeqSourceCode.c``);
 * ``run-concurrent`` — the restructured program (``mainprog.m``),
   optionally with real multiprocessing workers;
+* ``run-parallel`` — the real multiprocessing fan-out with the warm
+  execution layer (persistent pool, operator cache, cost-ordered
+  dispatch) and its observability report;
 * ``calibrate`` — measure the real solver and fit the cost model;
 * ``table1`` — regenerate Table 1 on the simulated cluster;
 * ``figures`` — regenerate Figures 1-5;
@@ -56,6 +59,28 @@ def build_parser() -> argparse.ArgumentParser:
                         help="one workers-pool per grid diagonal (two pools)")
     p_conc.add_argument("--verify", action="store_true",
                         help="also run sequentially and compare bitwise")
+
+    p_par = sub.add_parser(
+        "run-parallel",
+        help="run the real multiprocessing fan-out on the warm path",
+    )
+    add_problem_args(p_par)
+    p_par.add_argument("--processes", type=int, default=None,
+                       help="pool size (default: min(grids, CPUs))")
+    p_par.add_argument("--dispatch", choices=("longest-first", "static"),
+                       default="longest-first",
+                       help="job ordering: cost-model LPT or the seed's "
+                       "static pool.map chunking")
+    p_par.add_argument("--cold", action="store_true",
+                       help="seed behaviour: throwaway pool, no operator "
+                       "or factorization reuse")
+    p_par.add_argument("--repeat", type=int, default=1,
+                       help="repeat the run to show the warm-up trajectory")
+    p_par.add_argument("--model", default=None,
+                       help="calibration JSON for dispatch ordering "
+                       "(default: structural proxy)")
+    p_par.add_argument("--verify", action="store_true",
+                       help="also run sequentially and compare bitwise")
 
     p_cal = sub.add_parser("calibrate", help="fit the cost model on real solves")
     p_cal.add_argument("--levels", type=int, nargs="+", default=[4, 5, 6])
@@ -164,10 +189,53 @@ def cmd_run_concurrent(args) -> int:
     if tasks is not None:
         print(f"task instances forked: {len(tasks.instances())}, "
               f"peak alive {tasks.peak_instances()}")
+    if isinstance(engine, ProcessPoolEngine):
+        hits = sum(
+            1 for p in result.payloads.values() if p.operator_cache_hit
+        )
+        print(f"process pool: {'warm' if engine.warm_start else 'cold'} "
+              f"start, operator cache {hits}/{len(result.payloads)} hits")
+        engine.close()
     if isinstance(engine, TaskInstanceEngine):
         print(f"OS task instances: {engine.stats.spawned} spawned, "
               f"{engine.stats.reused} worker(s) reused one")
         engine.close()
+    if args.verify:
+        seq = SequentialApplication(
+            root=args.root, level=args.level, tol=args.tol,
+            problem=make_problem(args.problem),
+        ).run()
+        identical = np.array_equal(seq.combined, result.combined)
+        print(f"bitwise identical to sequential: {identical}")
+        return 0 if identical else 1
+    return 0
+
+
+def cmd_run_parallel(args) -> int:
+    from repro.perf import CostModel, warm_path_report
+    from repro.restructured import run_multiprocessing
+    from repro.sparsegrid import SequentialApplication
+    from repro.sparsegrid.registry import make_problem
+
+    model = CostModel.from_json(args.model) if args.model else None
+    result = None
+    for run in range(max(1, args.repeat)):
+        result = run_multiprocessing(
+            root=args.root, level=args.level, tol=args.tol,
+            problem_name=args.problem,
+            processes=args.processes,
+            dispatch=args.dispatch,
+            cost_model=model,
+            warm_pool=not args.cold,
+            operator_cache=not args.cold,
+        )
+        label = "cold" if args.cold else ("warm" if result.warm_pool else "cool")
+        print(f"run {run + 1} ({label}): total {result.total_seconds:.3f}s "
+              f"(pool {result.pool_seconds:.3f}s) on {result.processes} "
+              f"process(es), {result.n_workers} grids")
+    print()
+    for line in warm_path_report(result).lines():
+        print(line)
     if args.verify:
         seq = SequentialApplication(
             root=args.root, level=args.level, tol=args.tol,
@@ -296,6 +364,7 @@ def cmd_experiments(args) -> int:
 _COMMANDS = {
     "run-sequential": cmd_run_sequential,
     "run-concurrent": cmd_run_concurrent,
+    "run-parallel": cmd_run_parallel,
     "calibrate": cmd_calibrate,
     "table1": cmd_table1,
     "figures": cmd_figures,

@@ -7,7 +7,10 @@
   paper's five-run ``/bin/time`` protocol);
 * :mod:`metrics` — speedup and machine-usage summary statistics;
 * :mod:`overhead` — the §7 overhead decomposition (multi-user effects,
-  concurrency overhead, coordination-layer overhead).
+  concurrency overhead, coordination-layer overhead);
+* :mod:`warmpath` — warm-path observability: operator/factorization
+  cache effectiveness, cold-vs-warm pool timings, and the
+  dispatch-order makespan metric.
 """
 
 from .bridge import costs_from_run, records_from_run, replay_on_cluster
@@ -15,19 +18,33 @@ from .costmodel import CostModel, CostRecord, measure_costs
 from .metrics import RunStatistics, speedup, summarize_runs
 from .overhead import OverheadReport, decompose_run
 from .timing import TimingResult, time_callable
+from .warmpath import (
+    DispatchMakespan,
+    WarmPathReport,
+    dispatch_makespan,
+    simulate_makespan,
+    static_chunk_makespan,
+    warm_path_report,
+)
 
 __all__ = [
     "CostModel",
     "CostRecord",
+    "DispatchMakespan",
     "OverheadReport",
     "RunStatistics",
     "TimingResult",
+    "WarmPathReport",
     "costs_from_run",
     "decompose_run",
+    "dispatch_makespan",
     "measure_costs",
     "records_from_run",
     "replay_on_cluster",
+    "simulate_makespan",
     "speedup",
+    "static_chunk_makespan",
     "summarize_runs",
     "time_callable",
+    "warm_path_report",
 ]

@@ -1,0 +1,200 @@
+"""Warm-path observability: cache effectiveness and dispatch makespan.
+
+The S-Net/CnC comparison in the related work makes the case that the
+coordination layer — not the kernel — decides whether a port of this
+kind wins.  This module quantifies our own coordination layer:
+
+* **cache counters** — operator-cache hit/miss and factorization-reuse
+  ratios pooled from :class:`~repro.restructured.worker.SubsolvePayload`
+  counters of a run;
+* **cold-vs-warm pool timings** — fork cost paid inside a call versus a
+  warm acquisition of the persistent pool;
+* **dispatch-order makespan** — a deterministic scheduling metric: given
+  the measured per-grid durations of a run, what elapsed time would a
+  ``w``-worker pool see under the actual dispatch order versus the
+  seed's ``pool.map`` static chunking?  This isolates the scheduling
+  effect from machine noise (and from the core count of the present
+  machine), the same way the paper's cost model isolates timing
+  structure from 2003 hardware.
+
+The makespan simulator models the pool faithfully: workers pull the
+next unit greedily; under ``imap_unordered(chunksize=1)`` a unit is one
+job, under ``pool.map`` a unit is one static contiguous chunk (jobs of
+a chunk run back to back on one worker).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from repro.restructured.parallel import MultiprocessingResult
+
+__all__ = [
+    "simulate_makespan",
+    "static_chunks",
+    "static_chunk_makespan",
+    "DispatchMakespan",
+    "dispatch_makespan",
+    "WarmPathReport",
+    "warm_path_report",
+]
+
+
+def simulate_makespan(durations: Sequence[float], n_workers: int) -> float:
+    """Elapsed time of a greedy list schedule: each of ``n_workers``
+    workers pulls the next duration when it becomes free."""
+    if n_workers < 1:
+        raise ValueError(f"n_workers must be >= 1, got {n_workers}")
+    if not durations:
+        return 0.0
+    loads = [0.0] * min(n_workers, len(durations))
+    for d in durations:
+        if d < 0:
+            raise ValueError(f"durations must be non-negative, got {d}")
+        i = loads.index(min(loads))
+        loads[i] += d
+    return max(loads)
+
+
+def static_chunks(n_items: int, n_workers: int, chunksize: Optional[int] = None) -> list[int]:
+    """Chunk sizes ``pool.map`` would use (its default formula splits
+    the list into ~4 contiguous chunks per worker)."""
+    if n_items == 0:
+        return []
+    if chunksize is None:
+        chunksize, extra = divmod(n_items, n_workers * 4)
+        if extra:
+            chunksize += 1
+    sizes = []
+    remaining = n_items
+    while remaining > 0:
+        take = min(chunksize, remaining)
+        sizes.append(take)
+        remaining -= take
+    return sizes
+
+
+def static_chunk_makespan(
+    durations: Sequence[float],
+    n_workers: int,
+    chunksize: Optional[int] = None,
+) -> float:
+    """Makespan of ``pool.map``'s static chunking over ``durations`` in
+    their given (loop) order: contiguous chunks are the schedulable
+    units, each chunk's jobs run back to back on one worker."""
+    units: list[float] = []
+    start = 0
+    for size in static_chunks(len(durations), n_workers, chunksize):
+        units.append(float(sum(durations[start:start + size])))
+        start += size
+    return simulate_makespan(units, n_workers)
+
+
+@dataclass(frozen=True)
+class DispatchMakespan:
+    """The scheduling metric for one run's measured durations."""
+
+    n_workers: int
+    #: greedy makespan of the order jobs were actually dispatched in
+    dispatched_seconds: float
+    #: greedy makespan of longest-measured-first (LPT with hindsight)
+    longest_first_seconds: float
+    #: ``pool.map`` static chunking over the paper's loop order
+    static_chunk_seconds: float
+    #: sum of all durations / n_workers — the no-overhead bound
+    lower_bound_seconds: float
+
+    @property
+    def gain_over_static(self) -> float:
+        """How much the dispatched order beats static chunking
+        (>1 means the warm path's ordering wins makespan)."""
+        if self.dispatched_seconds == 0:
+            return 1.0
+        return self.static_chunk_seconds / self.dispatched_seconds
+
+
+def dispatch_makespan(
+    result: MultiprocessingResult, n_workers: Optional[int] = None
+) -> DispatchMakespan:
+    """Score a run's dispatch order against static chunking, using its
+    own measured per-grid durations."""
+    workers = n_workers or max(2, result.processes)
+    by_key = {key: p.wall_seconds for key, p in result.payloads.items()}
+    loop_order = [by_key[key] for key in sorted(
+        by_key, key=lambda k: (k[0] + k[1], k[0])
+    )]
+    dispatched = [by_key[key] for key in result.dispatch_order]
+    longest_first = sorted(by_key.values(), reverse=True)
+    total = sum(by_key.values())
+    return DispatchMakespan(
+        n_workers=workers,
+        dispatched_seconds=simulate_makespan(dispatched, workers),
+        longest_first_seconds=simulate_makespan(longest_first, workers),
+        static_chunk_seconds=static_chunk_makespan(loop_order, workers),
+        lower_bound_seconds=total / workers,
+    )
+
+
+@dataclass(frozen=True)
+class WarmPathReport:
+    """Everything the warm path changed, in one record."""
+
+    level: int
+    tol: float
+    dispatch: str
+    warm_pool: bool
+    pool_cold_start_seconds: float
+    operator_cache_hits: int
+    operator_cache_misses: int
+    operator_cache_hit_ratio: float
+    factor_cache_hits: int
+    factor_reuse_ratio: float
+    pool_seconds: float
+    total_seconds: float
+    makespan: DispatchMakespan
+
+    def lines(self) -> list[str]:
+        """Human-readable report lines for the CLI."""
+        m = self.makespan
+        return [
+            f"dispatch: {self.dispatch}, pool: "
+            f"{'warm' if self.warm_pool else 'cold'}"
+            + (
+                f" (fork {self.pool_cold_start_seconds * 1e3:.1f} ms)"
+                if not self.warm_pool
+                else ""
+            ),
+            f"operator cache: {self.operator_cache_hits} hits / "
+            f"{self.operator_cache_misses} misses "
+            f"(hit ratio {self.operator_cache_hit_ratio:.2f})",
+            f"factorization reuse: ratio {self.factor_reuse_ratio:.2f}, "
+            f"{self.factor_cache_hits} cross-run factor-cache hits",
+            f"makespan @{m.n_workers} workers: dispatched "
+            f"{m.dispatched_seconds:.3f}s vs static-chunk "
+            f"{m.static_chunk_seconds:.3f}s "
+            f"(gain {m.gain_over_static:.2f}x, lower bound "
+            f"{m.lower_bound_seconds:.3f}s)",
+            f"pool {self.pool_seconds:.3f}s, total {self.total_seconds:.3f}s",
+        ]
+
+
+def warm_path_report(
+    result: MultiprocessingResult, n_workers: Optional[int] = None
+) -> WarmPathReport:
+    """Summarize one ``run_multiprocessing`` result."""
+    return WarmPathReport(
+        level=result.level,
+        tol=result.tol,
+        dispatch=result.dispatch,
+        warm_pool=result.warm_pool,
+        pool_cold_start_seconds=result.pool_cold_start_seconds,
+        operator_cache_hits=result.operator_cache_hits,
+        operator_cache_misses=result.operator_cache_misses,
+        operator_cache_hit_ratio=result.operator_cache_hit_ratio,
+        factor_cache_hits=result.factor_cache_hits,
+        factor_reuse_ratio=result.factor_reuse_ratio,
+        pool_seconds=result.pool_seconds,
+        total_seconds=result.total_seconds,
+        makespan=dispatch_makespan(result, n_workers),
+    )

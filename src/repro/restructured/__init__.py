@@ -14,13 +14,28 @@ generic master/worker protocol.
   nested loop replaced by protocol steps 3(a)–3(h);
 * :mod:`mainprog` — ``mainprog.m``: ``Main`` calls
   ``ProtocolMW(Master(argv), Worker)``;
-* :mod:`parallel` — the plain multiprocessing executor used as the
-  real-parallel measurement configuration and as a cross-check.
+* :mod:`parallel` — the multiprocessing executor used as the
+  real-parallel measurement configuration and as a cross-check; its
+  warm path orders jobs longest-predicted-first (LPT) over
+* :mod:`pool` — the persistent worker pool: one long-lived fork pool
+  shared across levels, runs and engines, whose warm workers retain
+  their process-local operator caches between jobs.
 """
 
 from .master import ConcurrentResult, make_master_definition
 from .mainprog import run_concurrent
-from .parallel import run_multiprocessing
+from .parallel import (
+    MultiprocessingResult,
+    order_longest_first,
+    predicted_spec_seconds,
+    run_multiprocessing,
+)
+from .pool import (
+    PersistentWorkerPool,
+    acquire_pool,
+    pool_diagnostics,
+    shutdown_pool,
+)
 from .taskengine import TaskInstanceEngine, TaskInstanceStats
 from .worker import (
     ComputeEngine,
@@ -29,6 +44,7 @@ from .worker import (
     SubsolveJobSpec,
     SubsolvePayload,
     execute_job,
+    execute_job_uncached,
     make_subsolve_worker,
 )
 
@@ -36,14 +52,22 @@ __all__ = [
     "ComputeEngine",
     "ConcurrentResult",
     "InlineEngine",
+    "MultiprocessingResult",
+    "PersistentWorkerPool",
     "ProcessPoolEngine",
     "SubsolveJobSpec",
     "SubsolvePayload",
     "TaskInstanceEngine",
     "TaskInstanceStats",
+    "acquire_pool",
     "execute_job",
+    "execute_job_uncached",
     "make_master_definition",
     "make_subsolve_worker",
+    "order_longest_first",
+    "pool_diagnostics",
+    "predicted_spec_seconds",
     "run_concurrent",
     "run_multiprocessing",
+    "shutdown_pool",
 ]

@@ -1,0 +1,155 @@
+"""The persistent worker pool — one long-lived fork pool per process.
+
+The seed's real-parallel path paid a coordination tax the paper warns
+about: every :func:`~repro.restructured.parallel.run_multiprocessing`
+call forked a fresh ``multiprocessing.Pool`` and tore it down again,
+so the five-run averaging protocol re-paid pool start-up five times and
+warm per-process state (the operator cache of
+:mod:`repro.sparsegrid.cache`) was thrown away with the workers.
+
+This module keeps **one** fork pool alive for the whole process:
+
+* levels, runs and engines share it — a second ``run_multiprocessing``
+  call (or a second :class:`~repro.restructured.worker.ProcessPoolEngine`)
+  finds warm workers whose operator/factor caches survived the previous
+  job batch;
+* acquiring with a larger ``processes`` requirement drains the old pool
+  gracefully and grows a new one (never ``terminate()`` — in-flight
+  jobs finish);
+* shutdown is ``close()``/``join()``, and an ``atexit`` hook winds the
+  pool down at interpreter exit.
+
+Cold-start cost is recorded so the warm-path observability layer can
+report cold-vs-warm pool timings.
+"""
+
+from __future__ import annotations
+
+import atexit
+import multiprocessing
+import time
+from typing import Any, Callable, Iterable, Optional
+
+__all__ = [
+    "PersistentWorkerPool",
+    "acquire_pool",
+    "shutdown_pool",
+    "pool_diagnostics",
+]
+
+
+class PersistentWorkerPool:
+    """A fork pool that outlives individual job batches."""
+
+    def __init__(self, processes: int) -> None:
+        if processes < 1:
+            raise ValueError(f"processes must be >= 1, got {processes}")
+        started = time.perf_counter()
+        self.processes = processes
+        self._pool = multiprocessing.get_context("fork").Pool(processes)
+        self.cold_start_seconds = time.perf_counter() - started
+        self.jobs_dispatched = 0
+        self.batches_dispatched = 0
+        self.closed = False
+
+    # ------------------------------------------------------------------
+    # dispatch
+    # ------------------------------------------------------------------
+    def apply(self, fn: Callable, args: tuple) -> Any:
+        """One synchronous job (the engine path)."""
+        self._require_open()
+        self.jobs_dispatched += 1
+        return self._pool.apply(fn, args)
+
+    def map_static(self, fn: Callable, items: list) -> list:
+        """``pool.map`` with its default static chunking (the seed
+        dispatch policy, kept for measurement)."""
+        self._require_open()
+        self.jobs_dispatched += len(items)
+        self.batches_dispatched += 1
+        return self._pool.map(fn, items)
+
+    def imap_unordered(
+        self, fn: Callable, items: Iterable, *, chunksize: int = 1
+    ) -> Iterable:
+        """Greedy single-job dispatch: each free worker pulls the next
+        item, so a longest-first ordering becomes LPT scheduling."""
+        self._require_open()
+        items = list(items)
+        self.jobs_dispatched += len(items)
+        self.batches_dispatched += 1
+        return self._pool.imap_unordered(fn, items, chunksize)
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def shutdown(self) -> None:
+        """Drain in-flight jobs and join the workers; idempotent."""
+        if self.closed:
+            return
+        self.closed = True
+        self._pool.close()
+        self._pool.join()
+
+    def _require_open(self) -> None:
+        if self.closed:
+            raise RuntimeError("pool has been shut down")
+
+
+# ----------------------------------------------------------------------
+# the shared process-wide pool
+# ----------------------------------------------------------------------
+_shared: Optional[PersistentWorkerPool] = None
+#: how many times a shared pool had to be (re)created — cold starts
+_cold_starts = 0
+#: how many acquisitions found a warm pool
+_warm_acquisitions = 0
+
+
+def acquire_pool(processes: Optional[int] = None) -> tuple[PersistentWorkerPool, bool]:
+    """Return ``(pool, was_warm)`` — the shared pool, creating or
+    growing it only when needed.
+
+    ``processes=None`` accepts any live pool (defaulting to the CPU
+    count on a cold start); an explicit requirement larger than the
+    current pool drains it and grows a replacement.
+    """
+    global _shared, _cold_starts, _warm_acquisitions
+    needed = processes or multiprocessing.cpu_count()
+    if (
+        _shared is not None
+        and not _shared.closed
+        and (processes is None or _shared.processes >= needed)
+    ):
+        _warm_acquisitions += 1
+        return _shared, True
+    if _shared is not None:
+        _shared.shutdown()
+    _shared = PersistentWorkerPool(needed)
+    _cold_starts += 1
+    return _shared, False
+
+
+def shutdown_pool() -> None:
+    """Gracefully wind down the shared pool (drain, join, forget)."""
+    global _shared
+    if _shared is not None:
+        _shared.shutdown()
+        _shared = None
+
+
+def pool_diagnostics() -> dict[str, float]:
+    """Counters for the warm-path report."""
+    return {
+        "alive": _shared is not None and not _shared.closed,
+        "processes": _shared.processes if _shared is not None else 0,
+        "cold_starts": _cold_starts,
+        "warm_acquisitions": _warm_acquisitions,
+        "jobs_dispatched": _shared.jobs_dispatched if _shared is not None else 0,
+        "cold_start_seconds": (
+            _shared.cold_start_seconds if _shared is not None else 0.0
+        ),
+    }
+
+
+atexit.register(shutdown_pool)

@@ -27,6 +27,8 @@ import numpy as np
 
 from repro.manifold import AtomicDefinition
 from repro.protocol import make_worker_definition
+from repro.sparsegrid.cache import default_operator_cache, operator_key
+from repro.sparsegrid.discretize import SpatialOperator
 from repro.sparsegrid.grid import Grid
 from repro.sparsegrid.registry import make_problem
 from repro.sparsegrid.subsolve import subsolve
@@ -35,6 +37,7 @@ __all__ = [
     "SubsolveJobSpec",
     "SubsolvePayload",
     "execute_job",
+    "execute_job_uncached",
     "ComputeEngine",
     "InlineEngine",
     "ProcessPoolEngine",
@@ -66,6 +69,15 @@ class SubsolveJobSpec:
     def kwargs(self) -> dict:
         return dict(self.problem_kwargs)
 
+    @property
+    def cache_key(self) -> tuple:
+        """Key into the process-local operator cache.  Tolerance and
+        final time are excluded on purpose: the assembled operator does
+        not depend on them."""
+        return operator_key(
+            self.problem_name, self.problem_kwargs, self.grid, self.scheme
+        )
+
 
 @dataclass(frozen=True)
 class SubsolvePayload:
@@ -80,29 +92,87 @@ class SubsolvePayload:
     solves: int
     wall_seconds: float
     work_units: float
+    # ------------------------------------------------------------------
+    # warm-path observability (defaults keep old constructors working)
+    # ------------------------------------------------------------------
+    #: the spatial operator came from the worker's process-local cache
+    operator_cache_hit: bool = False
+    #: ``prepare()`` calls on the linear solver (one per attempted step)
+    prepare_calls: int = 0
+    #: prepares served without a fresh LU (hold band or factor cache)
+    factor_reuse_hits: int = 0
+    #: the subset served by the cross-run factor cache
+    factor_cache_hits: int = 0
+    #: seconds spent assembling the operator (0.0 on a cache hit)
+    assembly_seconds: float = 0.0
+
+    @property
+    def factor_reuse_ratio(self) -> float:
+        """Factorization-cache effectiveness of this job."""
+        if self.prepare_calls == 0:
+            return 0.0
+        return self.factor_reuse_hits / self.prepare_calls
 
 
-def execute_job(spec: SubsolveJobSpec) -> SubsolvePayload:
+def execute_job(spec: SubsolveJobSpec, *, use_cache: bool = True) -> SubsolvePayload:
     """Run one job — the function both engines ultimately call.
 
     Must stay importable at module top level so multiprocessing can
-    pickle it by reference.
+    pickle it by reference.  With ``use_cache`` (the default) the
+    spatial operator and its LU factors come from the process-local
+    warm-path cache; results are bitwise identical either way, only the
+    assembly/factorization work is skipped on a hit.
     """
-    problem = make_problem(spec.problem_name, **spec.kwargs())
+    if use_cache:
+        cache = default_operator_cache()
+        entry, hit = cache.get(
+            spec.cache_key,
+            lambda: SpatialOperator(
+                spec.grid,
+                make_problem(spec.problem_name, **spec.kwargs()),
+                scheme=spec.scheme,
+            ),
+        )
+        operator, factor_cache = entry.operator, entry.factor_cache
+        problem = operator.problem
+    else:
+        hit = False
+        operator = factor_cache = None
+        problem = make_problem(spec.problem_name, **spec.kwargs())
     result = subsolve(
-        problem, spec.grid, spec.tol, t_end=spec.t_end, scheme=spec.scheme
+        problem,
+        spec.grid,
+        spec.tol,
+        t_end=spec.t_end,
+        scheme=spec.scheme,
+        operator=operator,
+        factor_cache=factor_cache,
     )
+    stats = result.stats
     return SubsolvePayload(
         l=spec.l,
         m=spec.m,
         solution=result.solution,
-        steps_accepted=result.stats.steps_accepted,
-        steps_rejected=result.stats.steps_rejected,
-        factorizations=result.stats.factorizations,
-        solves=result.stats.solves,
+        steps_accepted=stats.steps_accepted,
+        steps_rejected=stats.steps_rejected,
+        factorizations=stats.factorizations,
+        solves=stats.solves,
         wall_seconds=result.wall_seconds,
         work_units=result.work_units,
+        operator_cache_hit=hit,
+        prepare_calls=stats.prepare_calls,
+        factor_reuse_hits=stats.factor_reuse_hits,
+        factor_cache_hits=stats.factor_cache_hits,
+        assembly_seconds=0.0 if hit else stats.assembly_seconds,
     )
+
+
+def execute_job_uncached(spec: SubsolveJobSpec) -> SubsolvePayload:
+    """The cold path: no operator or factor reuse (for measurement).
+
+    Top-level so multiprocessing can pickle it by reference.
+    """
+    return execute_job(spec, use_cache=False)
 
 
 class ComputeEngine:
@@ -134,20 +204,47 @@ class ProcessPoolEngine(ComputeEngine):
     ``processes`` bounds the pool (defaults to the CPU count); with the
     paper's configuration of one worker per task instance the natural
     choice is one process per expected worker, capped by the hardware.
+
+    By default the engine borrows the process-wide *persistent* pool of
+    :mod:`repro.restructured.pool`: warm workers retain their operator
+    caches between jobs, runs and engines, and ``close()`` merely
+    detaches (the shared pool stays warm for the next engine).  With
+    ``persistent=False`` the engine owns a private pool and ``close()``
+    drains it gracefully — ``close()``/``join()``, never
+    ``terminate()``, so in-flight jobs finish instead of being killed
+    mid-computation.
     """
 
-    def __init__(self, processes: Optional[int] = None) -> None:
-        self._pool = multiprocessing.get_context("fork").Pool(processes)
+    def __init__(
+        self, processes: Optional[int] = None, *, persistent: bool = True
+    ) -> None:
+        from .pool import acquire_pool
+
         self.processes = processes
+        self.persistent = persistent
+        if persistent:
+            self._pool, self.warm_start = acquire_pool(processes)
+            self._owned = None
+        else:
+            self._owned = multiprocessing.get_context("fork").Pool(processes)
+            self._pool = None
+            self.warm_start = False
 
     def compute(self, spec: SubsolveJobSpec) -> SubsolvePayload:
+        if self._owned is not None:
+            return self._owned.apply(execute_job, (spec,))
+        if self._pool is None:
+            raise RuntimeError("engine has been closed")
         return self._pool.apply(execute_job, (spec,))
 
     def close(self) -> None:
-        if self._pool is not None:
-            self._pool.terminate()
-            self._pool.join()
-            self._pool = None
+        if self._owned is not None:
+            self._owned.close()
+            self._owned.join()
+            self._owned = None
+        # a borrowed persistent pool is shared state: detach only, the
+        # shared pool is wound down by pool.shutdown_pool()/atexit
+        self._pool = None
 
 
 def make_subsolve_worker(engine: ComputeEngine) -> AtomicDefinition:

@@ -12,6 +12,8 @@ technique*.
 * :mod:`discretize` — sparse spatial operators (upwind advection +
   central diffusion) with Dirichlet boundary handling;
 * :mod:`linsolve` — the linear-system layer (factorization cache);
+* :mod:`cache` — the warm-path operator/assembly cache (process-local
+  LRU serving pre-assembled operators and LU factors to ``subsolve``);
 * :mod:`rosenbrock` — the adaptive ROS2 Rosenbrock time integrator;
 * :mod:`subsolve` — ``subsolve(l, m)``: the computation-intensive grid
   routine the paper identifies as the concurrency candidate;
@@ -19,8 +21,15 @@ technique*.
 * :mod:`sequential` — the sequential driver (``SeqSourceCode.c``).
 """
 
+from .cache import (
+    OperatorCache,
+    configure_default_operator_cache,
+    default_operator_cache,
+    reset_default_operator_cache,
+)
 from .combination import combination_coefficients, combine, resample_1d, resample_2d
 from .grid import Grid, combination_grids, nested_loop_grids
+from .linsolve import FactorCache
 from .problem import (
     AdvectionDiffusionProblem,
     boundary_layer_problem,
@@ -43,7 +52,12 @@ from .verification import (
 
 __all__ = [
     "AdvectionDiffusionProblem",
+    "FactorCache",
+    "OperatorCache",
     "boundary_layer_problem",
+    "configure_default_operator_cache",
+    "default_operator_cache",
+    "reset_default_operator_cache",
     "GlobalData",
     "Grid",
     "Ros2Integrator",

@@ -1,0 +1,199 @@
+"""The warm-path operator/assembly cache.
+
+Every ``subsolve(l, m)`` call of the seed re-assembles its
+:class:`~repro.sparsegrid.discretize.SpatialOperator` from scratch —
+including across the five-run averages the measurement protocol
+mandates, across cost-model calibration sweeps, and across every
+benchmark repetition.  The operator, however, is a deterministic
+function of ``(problem, grid, scheme)``: re-building it buys nothing
+but wall time.
+
+:class:`OperatorCache` is a bounded, process-local LRU keyed by the
+*problem signature* — ``(problem_name, sorted kwargs)``, the same
+by-name contract job specs already use to cross process boundaries —
+plus the grid and the advection scheme.  Each entry carries
+
+* the assembled :class:`SpatialOperator` (with the problem instance it
+  embeds, so a hit also skips the registry re-instantiation), and
+* a :class:`~repro.sparsegrid.linsolve.FactorCache` of LU factors for
+  that operator, so repeated integrations also skip refactorization.
+
+Reuse is bitwise safe: hits return the very objects a miss would have
+built, and neither the operator nor an LU factor is mutated by an
+integration.  Tolerance and final time are deliberately *not* part of
+the key — the operator does not depend on them, and LU factors depend
+only on ``(J, gamma, h)``.
+
+The module-level default cache is what warm worker processes retain
+between jobs; a forked pool inherits (copy-on-write) whatever the
+parent already cached.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Callable, Hashable, Optional
+
+from .discretize import Scheme, SpatialOperator
+from .grid import Grid
+from .linsolve import FactorCache
+from .problem import AdvectionDiffusionProblem
+
+__all__ = [
+    "CacheEntry",
+    "OperatorCache",
+    "operator_key",
+    "default_operator_cache",
+    "configure_default_operator_cache",
+    "reset_default_operator_cache",
+]
+
+#: default bound of the process-local cache (every level-15 sweep fits:
+#: 2*level+1 = 31 grids per diagonal pair)
+DEFAULT_MAXSIZE = 32
+
+
+def operator_key(
+    problem_name: str,
+    problem_kwargs: tuple,
+    grid: Grid,
+    scheme: str,
+) -> tuple:
+    """The cache key: problem signature + grid + scheme."""
+    return (problem_name, tuple(problem_kwargs), grid.root, grid.l, grid.m, scheme)
+
+
+@dataclass
+class CacheEntry:
+    """One cached assembly: the operator and its factor store."""
+
+    operator: SpatialOperator
+    factor_cache: FactorCache
+
+
+class OperatorCache:
+    """Bounded process-local LRU of assembled spatial operators."""
+
+    def __init__(
+        self, maxsize: int = DEFAULT_MAXSIZE, *, factor_maxsize: int = 64
+    ) -> None:
+        if maxsize < 1:
+            raise ValueError(f"maxsize must be >= 1, got {maxsize}")
+        self.maxsize = maxsize
+        self.factor_maxsize = factor_maxsize
+        self._entries: OrderedDict[Hashable, CacheEntry] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._entries
+
+    @property
+    def hit_ratio(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def get(
+        self,
+        key: Hashable,
+        build: Callable[[], SpatialOperator],
+    ) -> tuple[CacheEntry, bool]:
+        """Return ``(entry, was_hit)``; ``build`` runs only on a miss."""
+        entry = self._entries.get(key)
+        if entry is not None:
+            self._entries.move_to_end(key)
+            self.hits += 1
+            return entry, True
+        self.misses += 1
+        entry = CacheEntry(
+            operator=build(),
+            factor_cache=FactorCache(self.factor_maxsize),
+        )
+        self._entries[key] = entry
+        while len(self._entries) > self.maxsize:
+            self._entries.popitem(last=False)
+            self.evictions += 1
+        return entry, False
+
+    def get_operator(
+        self,
+        problem: AdvectionDiffusionProblem | Callable[[], AdvectionDiffusionProblem],
+        grid: Grid,
+        *,
+        scheme: Scheme = "upwind",
+        problem_name: Optional[str] = None,
+        problem_kwargs: tuple = (),
+    ) -> tuple[CacheEntry, bool]:
+        """Convenience wrapper building the key from a problem signature.
+
+        ``problem`` may be an instance or a zero-argument factory (the
+        factory is only invoked on a miss); the signature defaults to
+        the problem's own name when ``problem_name`` is not given.
+        """
+        if problem_name is None:
+            if callable(problem) and not isinstance(
+                problem, AdvectionDiffusionProblem
+            ):
+                raise ValueError(
+                    "problem_name is required when problem is a factory"
+                )
+            problem_name = problem.name
+
+        def build() -> SpatialOperator:
+            instance = (
+                problem()
+                if callable(problem)
+                and not isinstance(problem, AdvectionDiffusionProblem)
+                else problem
+            )
+            return SpatialOperator(grid, instance, scheme=scheme)
+
+        key = operator_key(problem_name, problem_kwargs, grid, scheme)
+        return self.get(key, build)
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+    def stats(self) -> dict[str, float]:
+        return {
+            "size": len(self._entries),
+            "maxsize": self.maxsize,
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "hit_ratio": self.hit_ratio,
+        }
+
+
+# ----------------------------------------------------------------------
+# the process-local default cache (what warm pool workers retain)
+# ----------------------------------------------------------------------
+_default: Optional[OperatorCache] = None
+_default_maxsize = DEFAULT_MAXSIZE
+
+
+def default_operator_cache() -> OperatorCache:
+    """The process-local cache, created lazily."""
+    global _default
+    if _default is None:
+        _default = OperatorCache(_default_maxsize)
+    return _default
+
+
+def configure_default_operator_cache(maxsize: int) -> OperatorCache:
+    """Replace the default cache with an empty one of the given bound."""
+    global _default, _default_maxsize
+    _default_maxsize = maxsize
+    _default = OperatorCache(maxsize)
+    return _default
+
+
+def reset_default_operator_cache() -> None:
+    """Drop the default cache (tests; cold-path measurements)."""
+    global _default
+    _default = None

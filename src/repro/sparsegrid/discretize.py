@@ -35,14 +35,37 @@ __all__ = ["SpatialOperator"]
 Scheme = Literal["upwind", "central"]
 
 
+def _interior_diags(
+    n_nodes: int, diagonals: dict[int, float]
+) -> sp.spmatrix:
+    """Assemble ``sp.diags`` directly on interior rows only.
+
+    ``diagonals`` maps an offset to its constant coefficient.  The first
+    and last row (the Dirichlet boundary nodes) are zero; instead of
+    building the full stencil and zeroing those rows through a LIL
+    round-trip, each diagonal is constructed with its boundary-row
+    entries already absent, then explicit zeros are pruned so the CSR
+    structure matches the old row-deleted form exactly.
+    """
+    arrays, offsets = [], []
+    for offset, value in diagonals.items():
+        length = n_nodes - abs(offset)
+        diag = np.full(length, value)
+        # diagonal element k of offset d lives at row (k - min(d, 0));
+        # blank the entries that would land on row 0 or row n_nodes-1
+        rows = np.arange(length) - min(offset, 0)
+        diag[(rows == 0) | (rows == n_nodes - 1)] = 0.0
+        arrays.append(diag)
+        offsets.append(offset)
+    mat = sp.diags(arrays, offsets, format="csr")
+    mat.eliminate_zeros()
+    return mat
+
+
 def _second_difference(n_nodes: int, h: float) -> sp.spmatrix:
     """(u[i-1] - 2 u[i] + u[i+1]) / h^2 on interior rows; zero elsewhere."""
-    main = np.full(n_nodes, -2.0 / (h * h))
-    off = np.full(n_nodes - 1, 1.0 / (h * h))
-    mat = sp.diags([off, main, off], [-1, 0, 1], format="lil")
-    mat[0, :] = 0.0
-    mat[-1, :] = 0.0
-    return mat.tocsr()
+    c = 1.0 / (h * h)
+    return _interior_diags(n_nodes, {-1: c, 0: -2.0 * c, 1: c})
 
 
 def _difference(n_nodes: int, h: float, kind: str) -> sp.spmatrix:
@@ -52,28 +75,12 @@ def _difference(n_nodes: int, h: float, kind: str) -> sp.spmatrix:
     forward ``(u[i+1] - u[i])/h``; ``central`` = ``(u[i+1] - u[i-1])/(2h)``.
     """
     if kind == "minus":
-        mat = sp.diags(
-            [np.full(n_nodes - 1, -1.0 / h), np.full(n_nodes, 1.0 / h)],
-            [-1, 0],
-            format="lil",
-        )
-    elif kind == "plus":
-        mat = sp.diags(
-            [np.full(n_nodes, -1.0 / h), np.full(n_nodes - 1, 1.0 / h)],
-            [0, 1],
-            format="lil",
-        )
-    elif kind == "central":
-        mat = sp.diags(
-            [np.full(n_nodes - 1, -0.5 / h), np.full(n_nodes - 1, 0.5 / h)],
-            [-1, 1],
-            format="lil",
-        )
-    else:  # pragma: no cover - internal misuse
-        raise ValueError(f"unknown difference kind {kind!r}")
-    mat[0, :] = 0.0
-    mat[-1, :] = 0.0
-    return mat.tocsr()
+        return _interior_diags(n_nodes, {-1: -1.0 / h, 0: 1.0 / h})
+    if kind == "plus":
+        return _interior_diags(n_nodes, {0: -1.0 / h, 1: 1.0 / h})
+    if kind == "central":
+        return _interior_diags(n_nodes, {-1: -0.5 / h, 1: 0.5 / h})
+    raise ValueError(f"unknown difference kind {kind!r}")  # pragma: no cover
 
 
 class SpatialOperator:

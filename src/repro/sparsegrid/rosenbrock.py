@@ -27,7 +27,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from .discretize import SpatialOperator
-from .linsolve import RosenbrockSystemSolver
+from .linsolve import FactorCache, RosenbrockSystemSolver
 
 __all__ = ["StepStats", "Ros2Integrator"]
 
@@ -44,6 +44,13 @@ class StepStats:
     factorizations: int = 0
     solves: int = 0
     rhs_evaluations: int = 0
+    #: ``prepare()`` calls on the linear solver (one per attempted step)
+    prepare_calls: int = 0
+    #: prepares served without computing a fresh LU (same-``h`` hold or
+    #: a warm-path factor-cache hit)
+    factor_reuse_hits: int = 0
+    #: the subset of reuse hits served by a cross-run factor cache
+    factor_cache_hits: int = 0
     assembly_seconds: float = 0.0
     factor_seconds: float = 0.0
     solve_seconds: float = 0.0
@@ -57,6 +64,14 @@ class StepStats:
     @property
     def steps_total(self) -> int:
         return self.steps_accepted + self.steps_rejected
+
+    @property
+    def factor_reuse_ratio(self) -> float:
+        """Fraction of prepares that reused a factorization — the
+        factorization-cache effectiveness the cost model reports."""
+        if self.prepare_calls == 0:
+            return 0.0
+        return self.factor_reuse_hits / self.prepare_calls
 
 
 class Ros2Integrator:
@@ -83,6 +98,7 @@ class Ros2Integrator:
         h_min: float = 1.0e-12,
         h_max: float | None = None,
         record_history: bool = False,
+        factor_cache: FactorCache | None = None,
     ) -> None:
         if tol <= 0:
             raise ValueError(f"tolerance must be positive, got {tol}")
@@ -91,7 +107,9 @@ class Ros2Integrator:
         self.h_min = h_min
         self.h_max = h_max
         self.record_history = record_history
-        self.solver = RosenbrockSystemSolver(operator.J, GAMMA)
+        self.solver = RosenbrockSystemSolver(
+            operator.J, GAMMA, factor_cache=factor_cache
+        )
         self._h0 = h0
 
     # ------------------------------------------------------------------
@@ -173,6 +191,9 @@ class Ros2Integrator:
 
         stats.final_h = h
         stats.factorizations = self.solver.factorizations
+        stats.prepare_calls = self.solver.prepare_calls
+        stats.factor_reuse_hits = self.solver.reuse_hits
+        stats.factor_cache_hits = self.solver.factor_cache_hits
         stats.solves = self.solver.solves
         stats.factor_seconds = self.solver.factor_seconds
         stats.solve_seconds = self.solver.solve_seconds

@@ -1,0 +1,229 @@
+"""Warm-path correctness: the operator/assembly cache and the
+factorization cache.
+
+The load-bearing claim is the paper's own: reuse must not change a
+single bit of the answer.  Everything else — LRU bounds, counters,
+process-local default — is bookkeeping the observability layer relies
+on.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.sparsegrid import (
+    FactorCache,
+    Grid,
+    OperatorCache,
+    configure_default_operator_cache,
+    default_operator_cache,
+    reset_default_operator_cache,
+    subsolve,
+)
+from repro.sparsegrid.cache import operator_key
+from repro.sparsegrid.discretize import SpatialOperator
+from repro.sparsegrid.linsolve import RosenbrockSystemSolver
+from repro.sparsegrid.registry import make_problem
+
+
+@pytest.fixture
+def problem():
+    return make_problem("rotating-cone")
+
+
+class TestOperatorCache:
+    def test_miss_builds_then_hit_returns_same_object(self, problem):
+        cache = OperatorCache(maxsize=4)
+        grid = Grid(2, 1, 1)
+        entry, hit = cache.get_operator(problem, grid)
+        assert not hit
+        again, hit2 = cache.get_operator(problem, grid)
+        assert hit2
+        assert again.operator is entry.operator
+        assert again.factor_cache is entry.factor_cache
+        assert cache.hits == 1 and cache.misses == 1
+        assert cache.hit_ratio == 0.5
+
+    def test_key_separates_grid_scheme_and_problem(self, problem):
+        cache = OperatorCache(maxsize=8)
+        a, _ = cache.get_operator(problem, Grid(2, 1, 1))
+        b, _ = cache.get_operator(problem, Grid(2, 1, 2))
+        c, _ = cache.get_operator(problem, Grid(2, 1, 1), scheme="central")
+        d, _ = cache.get_operator(
+            make_problem("manufactured"), Grid(2, 1, 1)
+        )
+        operators = {id(a.operator), id(b.operator), id(c.operator), id(d.operator)}
+        assert len(operators) == 4
+        assert cache.misses == 4 and cache.hits == 0
+
+    def test_tol_and_t_end_not_in_key(self):
+        # the operator does not depend on them; the key must not either
+        key_a = operator_key("rotating-cone", (), Grid(2, 1, 1), "upwind")
+        key_b = operator_key("rotating-cone", (), Grid(2, 1, 1), "upwind")
+        assert key_a == key_b
+
+    def test_lru_eviction_bound(self, problem):
+        cache = OperatorCache(maxsize=2)
+        for m in range(4):
+            cache.get_operator(problem, Grid(2, 0, m))
+        assert len(cache) == 2
+        assert cache.evictions == 2
+        # oldest entries are gone: re-requesting them misses
+        _, hit = cache.get_operator(problem, Grid(2, 0, 0))
+        assert not hit
+        # the most recent entry is still warm
+        _, hit = cache.get_operator(problem, Grid(2, 0, 3))
+        assert hit
+
+    def test_lru_order_refreshes_on_hit(self, problem):
+        cache = OperatorCache(maxsize=2)
+        cache.get_operator(problem, Grid(2, 0, 0))
+        cache.get_operator(problem, Grid(2, 0, 1))
+        cache.get_operator(problem, Grid(2, 0, 0))  # refresh 0
+        cache.get_operator(problem, Grid(2, 0, 2))  # evicts 1, not 0
+        _, hit = cache.get_operator(problem, Grid(2, 0, 0))
+        assert hit
+
+    def test_factory_only_called_on_miss(self, problem):
+        calls = []
+        cache = OperatorCache(maxsize=4)
+
+        def factory():
+            calls.append(1)
+            return problem
+
+        cache.get_operator(factory, Grid(2, 1, 1), problem_name="p")
+        cache.get_operator(factory, Grid(2, 1, 1), problem_name="p")
+        assert len(calls) == 1
+
+    def test_factory_requires_name(self, problem):
+        cache = OperatorCache()
+        with pytest.raises(ValueError, match="problem_name"):
+            cache.get_operator(lambda: problem, Grid(2, 1, 1))
+
+    def test_stats_dict(self, problem):
+        cache = OperatorCache(maxsize=4)
+        cache.get_operator(problem, Grid(2, 1, 1))
+        stats = cache.stats()
+        assert stats["misses"] == 1 and stats["size"] == 1
+
+    def test_clear(self, problem):
+        cache = OperatorCache()
+        cache.get_operator(problem, Grid(2, 1, 1))
+        cache.clear()
+        assert len(cache) == 0
+
+
+class TestBitwiseIdentity:
+    """Cached-vs-uncached ``subsolve`` must agree to the last bit."""
+
+    def test_cached_operator_identical_solution(self, problem):
+        grid = Grid(2, 2, 1)
+        cold = subsolve(problem, grid, 1.0e-3, t_end=0.25)
+        cache = OperatorCache()
+        entry, _ = cache.get_operator(problem, grid)
+        warm = subsolve(
+            problem, grid, 1.0e-3, t_end=0.25,
+            operator=entry.operator, factor_cache=entry.factor_cache,
+        )
+        assert np.array_equal(cold.solution, warm.solution)
+        assert cold.stats.steps_accepted == warm.stats.steps_accepted
+
+    def test_factor_cache_replay_identical_and_hit(self, problem):
+        grid = Grid(2, 1, 2)
+        cache = OperatorCache()
+        entry, _ = cache.get_operator(problem, grid)
+        first = subsolve(
+            problem, grid, 1.0e-3, t_end=0.25,
+            operator=entry.operator, factor_cache=entry.factor_cache,
+        )
+        second = subsolve(
+            problem, grid, 1.0e-3, t_end=0.25,
+            operator=entry.operator, factor_cache=entry.factor_cache,
+        )
+        assert np.array_equal(first.solution, second.solution)
+        # the replayed h sequence is identical, so every factorization
+        # of the second run is served from the cache
+        assert first.stats.factorizations > 0
+        assert second.stats.factorizations == 0
+        assert second.stats.factor_cache_hits >= 1
+        assert second.stats.factor_reuse_ratio == 1.0
+
+    def test_mismatched_operator_rejected(self, problem):
+        cache = OperatorCache()
+        entry, _ = cache.get_operator(problem, Grid(2, 1, 1))
+        with pytest.raises(ValueError, match="cached operator"):
+            subsolve(problem, Grid(2, 1, 2), 1e-3, operator=entry.operator)
+        with pytest.raises(ValueError, match="cached operator"):
+            subsolve(
+                problem, Grid(2, 1, 1), 1e-3,
+                scheme="central", operator=entry.operator,
+            )
+
+
+class TestFactorCache:
+    def test_lru_bound_and_counters(self):
+        cache = FactorCache(maxsize=2)
+        problem = make_problem("rotating-cone")
+        op = SpatialOperator(Grid(2, 0, 0), problem)
+        solver = RosenbrockSystemSolver(op.J, 1.7, factor_cache=cache)
+        for h in (0.1, 0.2, 0.3):
+            solver.prepare(h)
+        assert len(cache) == 2
+        assert cache.evictions == 1
+        # 0.1 was evicted; 0.3 is warm
+        fresh = RosenbrockSystemSolver(op.J, 1.7, factor_cache=cache)
+        fresh.prepare(0.3)
+        assert fresh.factor_cache_hits == 1
+        fresh.prepare(0.1)
+        assert fresh.factorizations == 1
+
+    def test_reuse_ratio_property(self):
+        problem = make_problem("rotating-cone")
+        op = SpatialOperator(Grid(2, 0, 0), problem)
+        solver = RosenbrockSystemSolver(op.J, 1.7)
+        assert solver.reuse_ratio == 0.0
+        solver.prepare(0.1)
+        solver.prepare(0.1)
+        solver.prepare(0.2)
+        solver.prepare(0.2)
+        assert solver.prepare_calls == 4
+        assert solver.reuse_hits == 2
+        assert solver.reuse_ratio == 0.5
+
+    def test_cached_factor_solves_identically(self):
+        problem = make_problem("rotating-cone")
+        op = SpatialOperator(Grid(2, 1, 1), problem)
+        rhs = op.initial_interior()
+        shared = FactorCache()
+        a = RosenbrockSystemSolver(op.J, 1.7, factor_cache=shared)
+        a.prepare(0.05)
+        x_fresh = a.solve(rhs)
+        b = RosenbrockSystemSolver(op.J, 1.7, factor_cache=shared)
+        b.prepare(0.05)  # served from the shared cache
+        assert b.factor_cache_hits == 1
+        assert np.array_equal(b.solve(rhs), x_fresh)
+
+    def test_invalid_sizes_rejected(self):
+        with pytest.raises(ValueError):
+            FactorCache(maxsize=0)
+        with pytest.raises(ValueError):
+            OperatorCache(maxsize=0)
+
+
+class TestDefaultCache:
+    def test_default_is_process_local_singleton(self):
+        reset_default_operator_cache()
+        a = default_operator_cache()
+        assert default_operator_cache() is a
+
+    def test_configure_replaces_and_sets_bound(self):
+        cache = configure_default_operator_cache(3)
+        assert default_operator_cache() is cache
+        assert cache.maxsize == 3
+        reset_default_operator_cache()
+        assert default_operator_cache().maxsize == 3  # bound sticks
+
+    def teardown_method(self):
+        configure_default_operator_cache(32)

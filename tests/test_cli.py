@@ -59,6 +59,41 @@ class TestCommands:
         ]) == 0
         assert "True" in capsys.readouterr().out
 
+    def test_run_parallel_warm_repeat_with_verify(self, capsys):
+        from repro.restructured import shutdown_pool
+
+        shutdown_pool()
+        try:
+            assert main([
+                "run-parallel", "--level", "1", "--repeat", "2", "--verify"
+            ]) == 0
+            out = capsys.readouterr().out
+            assert "run 1 (cool)" in out
+            assert "run 2 (warm)" in out
+            assert "operator cache" in out
+            assert "makespan" in out
+            assert "bitwise identical to sequential: True" in out
+        finally:
+            shutdown_pool()
+
+    def test_run_parallel_cold_mode(self, capsys):
+        assert main(["run-parallel", "--level", "1", "--cold"]) == 0
+        out = capsys.readouterr().out
+        assert "run 1 (cold)" in out
+        assert "pool: cold" in out
+
+    def test_run_parallel_static_dispatch(self, capsys):
+        from repro.restructured import shutdown_pool
+
+        shutdown_pool()
+        try:
+            assert main([
+                "run-parallel", "--level", "1", "--dispatch", "static"
+            ]) == 0
+            assert "dispatch: static" in capsys.readouterr().out
+        finally:
+            shutdown_pool()
+
     def test_calibrate_writes_model(self, tmp_path, capsys):
         out_path = tmp_path / "cal.json"
         code = main([
