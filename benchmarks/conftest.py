@@ -24,6 +24,12 @@ TOLS = [1.0e-3, 1.0e-4]
 #: ratio lands in every bench JSON trajectory) to the full measurement.
 WARM_PATH_FULL = os.environ.get("REPRO_WARM_PATH_FULL", "") not in ("", "0")
 
+#: ``REPRO_FAULT_RECOVERY_FULL=1`` switches bench_fault_recovery from
+#: the fast smoke mode to a bigger level and more rounds.
+FAULT_RECOVERY_FULL = os.environ.get(
+    "REPRO_FAULT_RECOVERY_FULL", ""
+) not in ("", "0")
+
 
 @pytest.fixture(scope="session")
 def warm_path_settings() -> dict:
@@ -43,6 +49,23 @@ def warm_path_settings() -> dict:
         "cold_rounds": 2, "warm_rounds": 3,
         "makespan_level": 6, "makespan_tol": 1.0e-3,
         "makespan_workers": 8,
+    }
+
+
+@pytest.fixture(scope="session")
+def fault_recovery_settings() -> dict:
+    """Configuration of the fault-recovery bench: one seeded worker
+    kill, recovery priced against the fault-free wall time."""
+    if FAULT_RECOVERY_FULL:
+        return {
+            "full": True,
+            "level": 5, "tol": 1.0e-3, "processes": 2,
+            "rounds": 3, "fault": "crash@2,3",
+        }
+    return {
+        "full": False,
+        "level": 3, "tol": 1.0e-3, "processes": 2,
+        "rounds": 2, "fault": "crash@1,2",
     }
 
 

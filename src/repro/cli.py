@@ -81,6 +81,23 @@ def build_parser() -> argparse.ArgumentParser:
                        "(default: structural proxy)")
     p_par.add_argument("--verify", action="store_true",
                        help="also run sequentially and compare bitwise")
+    p_par.add_argument("--faults", default=None, metavar="SPEC",
+                       help="inject faults and run fault-tolerant: e.g. "
+                       "'crash@1,2' or 'slow@*:factor=3,rate=0.2' "
+                       "(see docs/resilience.md for the grammar)")
+    p_par.add_argument("--fault-seed", type=int, default=0,
+                       help="seed for rate-sampled fault rules")
+    p_par.add_argument("--retry", type=int, default=None, metavar="N",
+                       help="fault-tolerant execution with N attempts "
+                       "per job (default policy: 3)")
+    p_par.add_argument("--deadline-factor", type=float, default=None,
+                       metavar="X",
+                       help="fault-tolerant execution; declare a job "
+                       "hung after X times its cost-model-predicted "
+                       "seconds (default policy: 8.0)")
+    p_par.add_argument("--deadline-seconds", type=float, default=None,
+                       help="flat per-job deadline when no cost model "
+                       "is given (default policy: 60s)")
 
     p_cal = sub.add_parser("calibrate", help="fit the cost model on real solves")
     p_cal.add_argument("--levels", type=int, nargs="+", default=[4, 5, 6])
@@ -218,6 +235,22 @@ def cmd_run_parallel(args) -> int:
     from repro.sparsegrid.registry import make_problem
 
     model = CostModel.from_json(args.model) if args.model else None
+    retry = deadline = None
+    if args.retry is not None:
+        from repro.resilience import RetryPolicy
+
+        retry = RetryPolicy(max_attempts=args.retry)
+    if args.deadline_factor is not None or args.deadline_seconds is not None:
+        from repro.resilience import DeadlinePolicy
+
+        deadline = DeadlinePolicy(
+            factor=args.deadline_factor
+            if args.deadline_factor is not None
+            else DeadlinePolicy.factor,
+            default_seconds=args.deadline_seconds
+            if args.deadline_seconds is not None
+            else DeadlinePolicy.default_seconds,
+        )
     result = None
     for run in range(max(1, args.repeat)):
         result = run_multiprocessing(
@@ -228,6 +261,10 @@ def cmd_run_parallel(args) -> int:
             cost_model=model,
             warm_pool=not args.cold,
             operator_cache=not args.cold,
+            retry=retry,
+            deadline=deadline,
+            faults=args.faults,
+            fault_seed=args.fault_seed,
         )
         label = "cold" if args.cold else ("warm" if result.warm_pool else "cool")
         print(f"run {run + 1} ({label}): total {result.total_seconds:.3f}s "
@@ -236,6 +273,9 @@ def cmd_run_parallel(args) -> int:
     print()
     for line in warm_path_report(result).lines():
         print(line)
+    if result.faults:
+        for line in result.fault_report.lines():
+            print(line)
     if args.verify:
         seq = SequentialApplication(
             root=args.root, level=args.level, tol=args.tol,

@@ -11,13 +11,20 @@ this module gives each configuration a name and a single place to live:
 * ``io-workers``       — the §4.1 alternative (master stops passing data);
 * ``no-initial-data``  — workers rebuild their grid data locally;
 * ``one-task``         — every worker bundled into a single task instance
-  on one (single-CPU) machine: the ``{load n}`` shared configuration.
+  on one (single-CPU) machine: the ``{load n}`` shared configuration;
+* ``chaos-crash``      — the paper setup under a seeded fault plan that
+  crashes a deterministic ~15% of first job attempts (the recovery cost
+  the paper's protocol cannot pay — it has no recovery story);
+* ``chaos-slow-host``  — a deterministic ~20% of jobs land on hosts
+  running 4x slow (the multi-user reality of §6, as injected faults).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 from typing import Callable
+
+from repro.resilience import FaultPlan
 
 from .host import Host, paper_cluster, uniform_cluster
 from .noise import MultiUserNoise
@@ -85,6 +92,20 @@ SCENARIOS: dict[str, Scenario] = {
             "one-task",
             "all workers in one task instance on one machine ({load n})",
             _one_task_params,
+        ),
+        Scenario(
+            "chaos-crash",
+            "paper setup + seeded worker crashes on ~15% of first attempts",
+            lambda: SimulationParams(
+                fault_plan=FaultPlan.parse("crash@*:rate=0.15,seed=7")
+            ),
+        ),
+        Scenario(
+            "chaos-slow-host",
+            "paper setup + ~20% of jobs on hosts running 4x slow",
+            lambda: SimulationParams(
+                fault_plan=FaultPlan.parse("slow@*:factor=4,rate=0.2,seed=11")
+            ),
         ),
     )
 }

@@ -112,11 +112,29 @@ class SimulationParams:
     n_io_workers: int = 4
     #: extra per-worker coordination when I/O workers are interposed
     io_worker_overhead_seconds: float = 0.15
+    #: chaos model: a :class:`~repro.resilience.FaultPlan` consulted per
+    #: (grid, attempt) — the same plan object that drives real process
+    #: kills in the fork pool drives simulated ones on the testbed.
+    #: ``slow`` stretches the compute; ``crash``/``hang``/``raise`` cost
+    #: wasted compute plus detection plus a re-fork and handshake on the
+    #: retry, itemized under ``breakdown["recovery"]``
+    fault_plan: object = None
+    #: master-side time to detect a dead or hung worker (deadline poll)
+    recovery_detect_seconds: float = 1.5
+    #: attempts per grid before the simulated master gives up (mirrors
+    #: :class:`~repro.resilience.RetryPolicy.max_attempts`)
+    max_fault_attempts: int = 3
+    #: fraction of an attempt's compute wasted when the worker dies
+    crash_waste_fraction: float = 0.5
 
     def __post_init__(self) -> None:
         if self.workers_per_task < 1:
             raise ValueError(
                 f"workers_per_task must be >= 1, got {self.workers_per_task}"
+            )
+        if self.max_fault_attempts < 1:
+            raise ValueError(
+                f"max_fault_attempts must be >= 1, got {self.max_fault_attempts}"
             )
 
 
@@ -147,6 +165,8 @@ class DistributedRun:
     #: hosts that ever housed a task instance (master host first)
     hosts_used: list[Host]
     n_tasks_forked: int
+    #: injected faults the simulated master recovered from
+    n_faults: int = 0
 
     @property
     def n_workers(self) -> int:
@@ -222,8 +242,10 @@ def simulate_distributed(
         "result_wait": 0.0,
         "work_critical": 0.0,
         "prolongation": 0.0,
+        "recovery": 0.0,
         "shutdown": params.shutdown_seconds,
     }
+    n_faults = 0
 
     # --- placement state ---------------------------------------------
     tasks: list[_SimTask] = []
@@ -312,6 +334,36 @@ def simulate_distributed(
             compute = (
                 cost.work_ref_seconds / task.host.speed_factor * sample.slowdown
             )
+            # chaos model: replay the fault plan's escalation on this
+            # grid.  A fault wastes part of an attempt, then costs the
+            # master a detection poll plus a re-fork and handshake for
+            # the replacement worker; a slow host stretches the job.
+            # The grid keeps its single trace interval — recovery is
+            # folded into its compute span and itemized in the
+            # breakdown, which is how the §7 decomposition would see it.
+            if params.fault_plan is not None:
+                recovery = 0.0
+                for attempt in range(1, params.max_fault_attempts + 1):
+                    action = params.fault_plan.action(cost.l, cost.m, attempt)
+                    if action is None:
+                        break
+                    if action.kind == "slow":
+                        compute *= action.factor
+                        break
+                    wasted = (
+                        0.0
+                        if action.kind == "raise"
+                        else compute * params.crash_waste_fraction
+                    )
+                    recovery += (
+                        wasted
+                        + params.recovery_detect_seconds
+                        + params.fork_seconds
+                        + params.handshake_seconds
+                    )
+                    n_faults += 1
+                compute += recovery
+                breakdown["recovery"] += recovery
             welcome = send_end
             # single-processor hosts timeshare: a worker landing next to
             # k busy co-residents of its task instance runs ~(k+1)x
@@ -383,6 +435,7 @@ def simulate_distributed(
         breakdown=breakdown,
         hosts_used=hosts_used,
         n_tasks_forked=n_forked,
+        n_faults=n_faults,
     )
 
 

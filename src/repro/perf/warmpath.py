@@ -153,11 +153,25 @@ class WarmPathReport:
     pool_seconds: float
     total_seconds: float
     makespan: DispatchMakespan
+    # fault-tolerance counters (zero on a fault-free or non-resilient run)
+    attempts: int = 0
+    faults: int = 0
+    recovered: int = 0
+    fallbacks: int = 0
+    pool_respawns: int = 0
 
     def lines(self) -> list[str]:
         """Human-readable report lines for the CLI."""
         m = self.makespan
-        return [
+        resilience = []
+        if self.faults:
+            resilience.append(
+                f"resilience: {self.faults} faults over {self.attempts} "
+                f"attempts, {self.recovered} recovered, "
+                f"{self.fallbacks} sequential fallbacks, "
+                f"{self.pool_respawns} pool respawns"
+            )
+        return resilience + [
             f"dispatch: {self.dispatch}, pool: "
             f"{'warm' if self.warm_pool else 'cold'}"
             + (
@@ -197,4 +211,9 @@ def warm_path_report(
         pool_seconds=result.pool_seconds,
         total_seconds=result.total_seconds,
         makespan=dispatch_makespan(result, n_workers),
+        attempts=result.attempts,
+        faults=result.faults,
+        recovered=result.recovered,
+        fallbacks=result.fallbacks,
+        pool_respawns=result.pool_respawns,
     )

@@ -32,6 +32,7 @@ from .interfaces import (
     make_worker_definition,
 )
 from .master_worker import create_worker_pool, protocol_mw
+from .supervision import SupervisionRegistry, make_supervisor
 
 __all__ = [
     "A_RENDEZVOUS",
@@ -42,11 +43,13 @@ __all__ = [
     "FailedWorkerResult",
     "MasterProtocolClient",
     "ProtocolEvents",
+    "SupervisionRegistry",
     "WorkerJob",
     "WorkerPoolError",
     "WorkerResult",
     "create_worker_pool",
     "events_for",
+    "make_supervisor",
     "make_worker_definition",
     "protocol_mw",
 ]

@@ -148,7 +148,11 @@ def create_worker_pool(
 
 
 def protocol_mw(
-    master: ProcessBase, worker_defn: AtomicDefinition, *, supervise: bool = False
+    master: ProcessBase,
+    worker_defn: AtomicDefinition,
+    *,
+    supervise: bool = False,
+    registry: Optional[SupervisionRegistry] = None,
 ) -> Block:
     """The exported ``ProtocolMW`` manner (lines 54–64 of protocolMW.m).
 
@@ -158,14 +162,19 @@ def protocol_mw(
     ``supervise`` enables the worker-failure extension: a supervisor
     coordinator is spawned alongside the protocol and every pool worker
     is registered with it (see :mod:`repro.protocol.supervision`).
+    Passing an explicit ``registry`` implies ``supervise`` and lets the
+    caller attach a shared :class:`~repro.resilience.FaultLog` and
+    escalation ladder before the protocol starts.
     """
 
     ev = events_for(master)
+    supplied = registry
 
     def setup(ctx: StateContext) -> dict:
-        registry = None
-        if supervise:
+        registry = supplied
+        if registry is None and supervise:
             registry = SupervisionRegistry()
+        if registry is not None:
             make_supervisor(ctx.coordinator.runtime, registry)
         return {"protocol_registry": registry}
 

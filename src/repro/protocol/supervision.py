@@ -16,6 +16,14 @@ coordinator*: a supervisor process that observes the predefined
 Crucially the supervisor never touches the pool's streams and the pool
 block needs no extra labels, so the delicate create/write ordering the
 protocol relies on (§4.2) is untouched.
+
+The registry optionally carries a :class:`~repro.resilience.FaultLog`
+and an :class:`~repro.resilience.EscalationPolicy`: every claimed
+failure is then recorded as a structured
+:class:`~repro.resilience.FaultEvent` whose action comes from the same
+escalation ladder the OS-level pool path uses
+(:mod:`repro.restructured.parallel`), so a run that loses workers at
+both layers still has one auditable failure history.
 """
 
 from __future__ import annotations
@@ -50,12 +58,20 @@ class _Registration:
 
 
 class SupervisionRegistry:
-    """Thread-safe map of pool workers to their pool's context."""
+    """Thread-safe map of pool workers to their pool's context.
 
-    def __init__(self) -> None:
+    ``fault_log`` and ``escalation`` are optional: with a log attached,
+    every claimed failure is recorded as a
+    :class:`~repro.resilience.FaultEvent` whose action is what the
+    shared escalation ladder prescribes for a ``death_worker`` fault.
+    """
+
+    def __init__(self, *, fault_log=None, escalation=None) -> None:
         self._lock = threading.Lock()
         self._by_worker: dict[int, _Registration] = {}
         self._handled: set[int] = set()
+        self.fault_log = fault_log
+        self.escalation = escalation
 
     def register(
         self, worker: ProcessBase, master: ProcessBase, death_worker: Event
@@ -78,7 +94,21 @@ class SupervisionRegistry:
                 return None
             self._handled.add(proc.instance_id)
             proc.failure_handled = True
-            return registration
+        if self.fault_log is not None:
+            from repro.resilience import EscalationPolicy, FaultEvent
+
+            ladder = self.escalation or EscalationPolicy()
+            self.fault_log.record(
+                FaultEvent(
+                    key=(proc.name,),
+                    kind="death_worker",
+                    attempt=1,
+                    action=ladder.decide(1, "death_worker").value,
+                    detected_by="supervisor",
+                    error=repr(proc.failure),
+                )
+            )
+        return registration
 
     @property
     def failures_handled(self) -> int:

@@ -1,0 +1,57 @@
+"""Fault tolerance for the execution layer — policy, injection, reporting.
+
+The paper's master/worker protocol counts ``death_worker`` events but
+assumes every worker eventually sends one; this package supplies the
+recovery story for the ways real workers fail — crashes, hangs, slow
+hosts, transient exceptions — while keeping all failure-handling policy
+in the coordination layer, out of the computation code:
+
+* :mod:`policy` — declarative :class:`RetryPolicy`,
+  :class:`DeadlinePolicy` and :class:`EscalationPolicy` (the ladder:
+  retry → reassign → sequential fallback → fail), plus the structured
+  :class:`FaultEvent`/:class:`FaultReport` record and the thread-safe
+  :class:`FaultLog` shared by every detector;
+* :mod:`inject` — the deterministic, seedable fault injector: a
+  :class:`FaultPlan` of :class:`FaultRule` entries drives real process
+  kills/hangs in the fork pool *and* chaos scenarios in the cluster
+  simulator from the same spec.
+
+See ``docs/resilience.md`` for the escalation ladder, the fault-spec
+grammar and the determinism guarantees.
+"""
+
+from .inject import (
+    FAULT_KINDS,
+    FaultPlan,
+    FaultRule,
+    TransientWorkerError,
+    resilient_entry,
+)
+from .policy import (
+    DeadlinePolicy,
+    EscalationPolicy,
+    EscalationStep,
+    FaultEvent,
+    FaultLog,
+    FaultReport,
+    FaultToleranceExhausted,
+    RetryPolicy,
+    deterministic_fraction,
+)
+
+__all__ = [
+    "FAULT_KINDS",
+    "DeadlinePolicy",
+    "EscalationPolicy",
+    "EscalationStep",
+    "FaultEvent",
+    "FaultLog",
+    "FaultPlan",
+    "FaultReport",
+    "FaultRule",
+    "FaultToleranceExhausted",
+    "RetryPolicy",
+    "TransientWorkerError",
+    "deterministic_fraction",
+    "resilient_entry",
+]

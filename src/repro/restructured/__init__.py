@@ -32,8 +32,11 @@ from .parallel import (
 )
 from .pool import (
     PersistentWorkerPool,
+    PoolClosedError,
     acquire_pool,
+    child_heartbeat_queue,
     pool_diagnostics,
+    respawn_pool,
     shutdown_pool,
 )
 from .taskengine import TaskInstanceEngine, TaskInstanceStats
@@ -54,12 +57,14 @@ __all__ = [
     "InlineEngine",
     "MultiprocessingResult",
     "PersistentWorkerPool",
+    "PoolClosedError",
     "ProcessPoolEngine",
     "SubsolveJobSpec",
     "SubsolvePayload",
     "TaskInstanceEngine",
     "TaskInstanceStats",
     "acquire_pool",
+    "child_heartbeat_queue",
     "execute_job",
     "execute_job_uncached",
     "make_master_definition",
@@ -67,6 +72,7 @@ __all__ = [
     "order_longest_first",
     "pool_diagnostics",
     "predicted_spec_seconds",
+    "respawn_pool",
     "run_concurrent",
     "run_multiprocessing",
     "shutdown_pool",

@@ -24,21 +24,45 @@ overhead in three ways:
 ``dispatch="static"``, ``warm_pool=False`` and ``operator_cache=False``
 reproduce the seed behaviour exactly, so the benchmarks can measure the
 cold/warm gap.  Every configuration is bitwise identical in its output.
+
+**Fault tolerance.**  Passing any of ``retry``, ``deadline``,
+``escalation`` or ``faults`` switches the fan-out to the resilient
+dispatch loop: every job is submitted individually (``apply_async``,
+preserving the greedy LPT pull order), workers report heartbeats, and
+the master watches three fault channels —
+
+1. a job's exception (e.g. an injected transient fault) surfaces
+   through its ``AsyncResult``;
+2. a **crashed** worker is caught by PID liveness: the heartbeat names
+   the worker holding each job, so a vanished PID convicts exactly one
+   lost job, which is re-dispatched immediately (``multiprocessing``
+   itself would let its ``AsyncResult`` wait forever);
+3. a **hung** worker trips its per-job deadline (cost-model-scaled via
+   :class:`~repro.resilience.policy.DeadlinePolicy`); the wedged pool
+   is force-respawned and only the in-flight jobs re-dispatched —
+   completed results are keyed by grid ``(l, m)`` and never recomputed,
+   and because ``subsolve`` is deterministic, replays are idempotent:
+   the combined solution stays bitwise identical to a fault-free run.
+
+Escalation follows :class:`~repro.resilience.policy.EscalationPolicy`:
+retry → reassign → in-master sequential ``subsolve`` → fail the run
+with a structured :class:`~repro.resilience.policy.FaultReport` inside
+:class:`~repro.resilience.policy.FaultToleranceExhausted`.
 """
 
 from __future__ import annotations
 
 import multiprocessing
 import time
-from dataclasses import dataclass
-from typing import Optional
+from dataclasses import dataclass, field
+from typing import Optional, Union
 
 import numpy as np
 
 from repro.sparsegrid.combination import combine
 from repro.sparsegrid.grid import Grid, nested_loop_grids
 
-from .pool import acquire_pool
+from .pool import PersistentWorkerPool, acquire_pool, respawn_pool
 from .worker import (
     SubsolveJobSpec,
     SubsolvePayload,
@@ -109,6 +133,36 @@ class MultiprocessingResult:
     dispatch_order: tuple[tuple[int, int], ...] = ()
     #: grids in the order their results arrived
     completion_order: tuple[tuple[int, int], ...] = ()
+    # ------------------------------------------------------------------
+    # fault tolerance (the resilient dispatch loop fills these in; a
+    # fault-free run on the plain path reports attempts == n jobs)
+    # ------------------------------------------------------------------
+    #: job dispatches, replays and collateral re-dispatches included
+    attempts: int = 0
+    #: observed fault events (crash, hang/deadline, transient exception)
+    faults: int = 0
+    #: grids that faulted at least once but ultimately completed
+    recovered: int = 0
+    #: grids completed by the in-master sequential fallback
+    fallbacks: int = 0
+    #: pool generations force-respawned to reclaim wedged workers
+    pool_respawns: int = 0
+    #: the detection-ordered fault history
+    fault_events: tuple = ()
+    #: grids behind the ``recovered`` / ``fallbacks`` counters
+    recovered_keys: tuple[tuple[int, int], ...] = ()
+    fallback_keys: tuple[tuple[int, int], ...] = ()
+
+    @property
+    def fault_report(self):
+        """The run's failure history as a structured report."""
+        from repro.resilience import FaultReport
+
+        return FaultReport(
+            events=tuple(self.fault_events),
+            recovered_keys=self.recovered_keys,
+            fallback_keys=self.fallback_keys,
+        )
 
     @property
     def n_workers(self) -> int:
@@ -142,6 +196,265 @@ class MultiprocessingResult:
         return reused / prepares
 
 
+# ----------------------------------------------------------------------
+# the resilient dispatch loop
+# ----------------------------------------------------------------------
+@dataclass
+class _Pending:
+    """Master-side bookkeeping of one in-flight job attempt."""
+
+    spec: SubsolveJobSpec
+    attempt: int
+    handle: object          # the AsyncResult
+    deadline_at: float      # monotonic absolute deadline
+    submitted_at: float
+    pid: Optional[int] = None  # worker PID, once its heartbeat arrives
+
+
+class _PoolLease:
+    """The pool the resilient loop dispatches into, shared or private,
+    with a uniform respawn path for wedged generations."""
+
+    def __init__(self, processes: int, shared: bool) -> None:
+        self.processes = processes
+        self.shared = shared
+        self.respawns = 0
+        if shared:
+            self.pool, self.was_warm = acquire_pool(processes)
+            self.cold_start_seconds = (
+                0.0 if self.was_warm else self.pool.cold_start_seconds
+            )
+        else:
+            self.pool = PersistentWorkerPool(processes)
+            self.was_warm = False
+            self.cold_start_seconds = self.pool.cold_start_seconds
+
+    def respawn(self) -> None:
+        """Terminate the wedged generation; fork a fresh one."""
+        self.respawns += 1
+        if self.shared:
+            self.pool = respawn_pool(self.processes)
+        else:
+            self.pool.shutdown(force=True)
+            self.pool = PersistentWorkerPool(self.processes)
+
+    def release(self) -> None:
+        if not self.shared:
+            self.pool.shutdown()
+
+
+@dataclass
+class _ResilientOutcome:
+    payloads: dict[tuple[int, int], SubsolvePayload]
+    completion_order: tuple[tuple[int, int], ...]
+    attempts: int
+    events: tuple
+    recovered_keys: tuple[tuple[int, int], ...]
+    fallback_keys: tuple[tuple[int, int], ...]
+    respawns: int
+
+
+def _run_resilient(
+    lease: _PoolLease,
+    ordered: list[SubsolveJobSpec],
+    *,
+    use_cache: bool,
+    plan,
+    escalation,
+    cost_model,
+    fault_log=None,
+    poll_interval: float = 0.02,
+) -> _ResilientOutcome:
+    """Dispatch ``ordered`` with crash/hang/exception recovery.
+
+    Completed payloads are keyed by grid ``(l, m)``; a replayed job
+    simply overwrites nothing (it only ever completes once), so
+    recovery is idempotent and the result set is exactly one payload
+    per grid, bitwise identical to a fault-free run.
+    """
+    from repro.resilience import (
+        EscalationStep,
+        FaultEvent,
+        FaultLog,
+        FaultToleranceExhausted,
+        resilient_entry,
+    )
+
+    log = fault_log if fault_log is not None else FaultLog()
+    retry, deadline_policy = escalation.retry, escalation.deadline
+    completed: dict[tuple[int, int], SubsolvePayload] = {}
+    completion_order: list[tuple[int, int]] = []
+    pending: dict[tuple[int, int], _Pending] = {}
+    recovered_keys: list[tuple[int, int]] = []
+    fallback_keys: list[tuple[int, int]] = []
+    attempts = 0
+
+    def predicted(spec: SubsolveJobSpec) -> Optional[float]:
+        if cost_model is None:
+            return None
+        return float(cost_model.predict_seconds(spec.l, spec.m, spec.tol))
+
+    def submit(spec: SubsolveJobSpec, attempt: int) -> None:
+        nonlocal attempts
+        attempts += 1
+        now = time.monotonic()
+        handle = lease.pool.submit(
+            resilient_entry, (spec, plan, attempt, use_cache)
+        )
+        pending[(spec.l, spec.m)] = _Pending(
+            spec=spec,
+            attempt=attempt,
+            handle=handle,
+            deadline_at=now + deadline_policy.deadline_seconds(predicted(spec)),
+            submitted_at=now,
+        )
+
+    def complete(key: tuple[int, int], payload: SubsolvePayload) -> None:
+        was_replay = pending[key].attempt > 1
+        del pending[key]
+        completed[key] = payload
+        completion_order.append(key)
+        if was_replay and key not in recovered_keys:
+            recovered_keys.append(key)
+
+    def fail_run(cause: Optional[BaseException] = None) -> None:
+        report = log.report(
+            recovered_keys=recovered_keys,
+            fallback_keys=fallback_keys,
+            failed_key=log.events()[-1].key if len(log) else None,
+        )
+        raise FaultToleranceExhausted(report) from cause
+
+    def handle_fault(
+        key: tuple[int, int], kind: str, detected_by: str, error: str = ""
+    ) -> None:
+        job = pending.pop(key)
+        if kind == "crash":
+            # the dead worker's job never completes; forget its handle
+            # so the pool can still be drained gracefully later
+            lease.pool.discard(job.handle)
+        step = escalation.decide(job.attempt, kind)
+        log.record(
+            FaultEvent(
+                key=key,
+                kind=kind,
+                attempt=job.attempt,
+                action=step.value,
+                detected_by=detected_by,
+                error=error,
+                seconds_lost=time.monotonic() - job.submitted_at,
+            )
+        )
+        if step in (EscalationStep.RETRY, EscalationStep.REASSIGN):
+            if kind in ("hang", "deadline"):
+                # the worker is wedged and occupies a slot forever:
+                # reclaim it by respawning the pool, then re-dispatch
+                # every job that was in flight (their handles died with
+                # the old generation); completed results are untouched
+                collateral = list(pending.values())
+                pending.clear()
+                lease.respawn()
+                for other in collateral:
+                    submit(other.spec, other.attempt)
+            time.sleep(retry.delay_seconds(job.attempt, key))
+            submit(job.spec, job.attempt + 1)
+        elif step is EscalationStep.FALLBACK:
+            # graceful degradation: the master computes the grid itself,
+            # sequentially and without injection — the paper's original
+            # loop body as the last safety net before failing the run
+            try:
+                payload = execute_job(job.spec, use_cache=use_cache)
+            except Exception as exc:
+                log.record(
+                    FaultEvent(
+                        key=key,
+                        kind="exception",
+                        attempt=job.attempt,
+                        action="fail",
+                        detected_by="fallback",
+                        error=repr(exc),
+                    )
+                )
+                fail_run(exc)
+            completed[key] = payload
+            completion_order.append(key)
+            fallback_keys.append(key)
+            if key not in recovered_keys:
+                recovered_keys.append(key)
+        else:  # EscalationStep.FAIL
+            fail_run()
+
+    for spec in ordered:
+        submit(spec, 1)
+
+    while pending:
+        progressed = False
+        # 1) heartbeats: learn which worker PID holds which job
+        for beat in lease.pool.drain_heartbeats():
+            phase, key, attempt, pid = beat
+            job = pending.get(key)
+            if job is not None and job.attempt == attempt:
+                job.pid = pid if phase == "start" else None
+        # 2) finished handles: results and job-raised exceptions
+        for key in list(pending):
+            job = pending[key]
+            if not job.handle.ready():
+                continue
+            progressed = True
+            try:
+                payload = job.handle.get()
+            except Exception as exc:
+                handle_fault(
+                    key, "exception", detected_by="exception", error=repr(exc)
+                )
+            else:
+                complete(key, payload)
+        # 3) liveness: a vanished PID convicts exactly its lost job
+        dead = lease.pool.reap_dead_workers()
+        if dead:
+            for key in list(pending):
+                job = pending.get(key)
+                if job is None or job.pid not in dead:
+                    continue
+                if job.handle.ready():
+                    continue  # finished just before dying; handled above
+                progressed = True
+                handle_fault(
+                    key,
+                    "crash",
+                    detected_by="liveness",
+                    error=f"worker pid {job.pid} died",
+                )
+        # 4) deadlines: hung (or undetectably lost) jobs
+        now = time.monotonic()
+        for key in list(pending):
+            job = pending.get(key)
+            if job is None or now < job.deadline_at or job.handle.ready():
+                continue
+            progressed = True
+            handle_fault(
+                key,
+                "deadline",
+                detected_by="deadline",
+                error=(
+                    f"no result within "
+                    f"{job.deadline_at - job.submitted_at:.2f}s"
+                ),
+            )
+        if not progressed and pending:
+            time.sleep(poll_interval)
+
+    return _ResilientOutcome(
+        payloads=completed,
+        completion_order=tuple(completion_order),
+        attempts=attempts,
+        events=tuple(log.events()),
+        recovered_keys=tuple(recovered_keys),
+        fallback_keys=tuple(fallback_keys),
+        respawns=lease.respawns,
+    )
+
+
 def run_multiprocessing(
     root: int = 2,
     level: int = 2,
@@ -157,17 +470,56 @@ def run_multiprocessing(
     cost_model=None,
     warm_pool: bool = True,
     operator_cache: bool = True,
+    retry=None,
+    deadline=None,
+    escalation=None,
+    faults: Union[str, object, None] = None,
+    fault_seed: int = 0,
+    fault_log=None,
 ) -> MultiprocessingResult:
     """Run the whole application with a process pool over the grids.
 
     The defaults are the warm path; ``warm_pool=False`` forks a
     throwaway pool (the seed behaviour) and ``operator_cache=False``
     disables worker-side operator/factor reuse, for cold measurements.
+
+    Passing any of ``retry`` (:class:`~repro.resilience.RetryPolicy`),
+    ``deadline`` (:class:`~repro.resilience.DeadlinePolicy`),
+    ``escalation`` (:class:`~repro.resilience.EscalationPolicy`) or
+    ``faults`` (a :class:`~repro.resilience.FaultPlan` or its spec
+    string, seeded by ``fault_seed``) enables the fault-tolerant
+    dispatch loop; ``fault_log`` optionally shares one
+    :class:`~repro.resilience.FaultLog` with other detectors (e.g. the
+    protocol supervisor) so a run has a single failure history.
     """
     if dispatch not in DISPATCH_POLICIES:
         raise ValueError(
             f"unknown dispatch policy {dispatch!r}; choose from {DISPATCH_POLICIES}"
         )
+    resilient = any(
+        option is not None for option in (retry, deadline, escalation, faults)
+    )
+    plan = None
+    if faults is not None:
+        from repro.resilience import FaultPlan
+
+        plan = (
+            FaultPlan.parse(faults, seed=fault_seed)
+            if isinstance(faults, str)
+            else faults
+        )
+    if resilient and escalation is None:
+        from repro.resilience import (
+            DeadlinePolicy,
+            EscalationPolicy,
+            RetryPolicy,
+        )
+
+        escalation = EscalationPolicy(
+            retry=retry if retry is not None else RetryPolicy(),
+            deadline=deadline if deadline is not None else DeadlinePolicy(),
+        )
+
     t_start = time.perf_counter()
     kw_pairs = tuple(sorted((problem_kwargs or {}).items()))
     specs = [
@@ -190,8 +542,39 @@ def run_multiprocessing(
     else:
         ordered = specs
 
+    attempts = len(specs)
+    events: tuple = ()
+    recovered_keys: tuple = ()
+    fallback_keys: tuple = ()
+    respawns = 0
+    completion_order: tuple[tuple[int, int], ...]
+
     t_pool = time.perf_counter()
-    if warm_pool:
+    if resilient:
+        lease = _PoolLease(n_proc, shared=warm_pool)
+        try:
+            outcome = _run_resilient(
+                lease,
+                ordered,
+                use_cache=operator_cache,
+                plan=plan,
+                escalation=escalation,
+                cost_model=cost_model,
+                fault_log=fault_log,
+            )
+        finally:
+            lease.release()
+        was_warm = lease.was_warm
+        cold_start = lease.cold_start_seconds
+        n_proc = lease.pool.processes
+        payloads = outcome.payloads
+        completion_order = outcome.completion_order
+        attempts = outcome.attempts
+        events = outcome.events
+        recovered_keys = outcome.recovered_keys
+        fallback_keys = outcome.fallback_keys
+        respawns = outcome.respawns
+    elif warm_pool:
         pool, was_warm = acquire_pool(n_proc)
         cold_start = 0.0 if was_warm else pool.cold_start_seconds
         if dispatch == "static":
@@ -199,6 +582,8 @@ def run_multiprocessing(
         else:
             payload_list = list(pool.imap_unordered(job, ordered))
         n_proc = pool.processes
+        payloads = {(p.l, p.m): p for p in payload_list}
+        completion_order = tuple((p.l, p.m) for p in payload_list)
     else:
         was_warm = False
         t_fork = time.perf_counter()
@@ -212,9 +597,10 @@ def run_multiprocessing(
         finally:
             fresh.close()
             fresh.join()
+        payloads = {(p.l, p.m): p for p in payload_list}
+        completion_order = tuple((p.l, p.m) for p in payload_list)
     pool_seconds = time.perf_counter() - t_pool
 
-    payloads = {(p.l, p.m): p for p in payload_list}
     solutions = {key: p.solution for key, p in payloads.items()}
     target_grid, combined = combine(solutions, root, level, target_cap=target_cap)
     return MultiprocessingResult(
@@ -231,5 +617,13 @@ def run_multiprocessing(
         warm_pool=was_warm,
         pool_cold_start_seconds=cold_start,
         dispatch_order=tuple((s.l, s.m) for s in ordered),
-        completion_order=tuple((p.l, p.m) for p in payload_list),
+        completion_order=completion_order,
+        attempts=attempts,
+        faults=len(events),
+        recovered=len(recovered_keys),
+        fallbacks=len(fallback_keys),
+        pool_respawns=respawns,
+        fault_events=events,
+        recovered_keys=recovered_keys,
+        fallback_keys=fallback_keys,
     )

@@ -17,7 +17,8 @@ from repro.cluster.simulator import GridCost
 class TestRegistry:
     def test_expected_scenarios_present(self):
         assert {"paper", "dedicated", "homogeneous", "no-perpetual",
-                "io-workers", "no-initial-data", "one-task"} <= set(SCENARIOS)
+                "io-workers", "no-initial-data", "one-task",
+                "chaos-crash", "chaos-slow-host"} <= set(SCENARIOS)
 
     def test_get_unknown_rejected(self):
         with pytest.raises(KeyError, match="unknown scenario"):
@@ -71,3 +72,40 @@ class TestConfigurations:
             )
             assert run.n_workers == 5, name
             assert run.elapsed_seconds > 0, name
+
+
+class TestChaosScenarios:
+    def _run(self, name: str, n: int = 20):
+        scenario = get_scenario(name)
+        costs = [
+            GridCost(l=i, m=j, work_ref_seconds=2.0, result_bytes=10_000)
+            for i in range(n // 2) for j in (0, 1)
+        ]
+        return simulate_distributed(
+            [costs], scenario.cluster(), scenario.params(),
+            np.random.default_rng(1),
+        )
+
+    def test_chaos_crash_pays_itemized_recovery(self):
+        clean = self._run("paper")
+        chaotic = self._run("chaos-crash")
+        assert chaotic.n_faults > 0
+        assert chaotic.breakdown["recovery"] > 0.0
+        assert clean.n_faults == 0
+        assert clean.breakdown["recovery"] == 0.0
+        assert chaotic.elapsed_seconds > clean.elapsed_seconds
+        # one trace interval per grid, faults or not
+        assert chaotic.n_workers == clean.n_workers
+
+    def test_chaos_slow_host_stretches_compute_without_faults(self):
+        clean = self._run("paper")
+        slowed = self._run("chaos-slow-host")
+        assert slowed.n_faults == 0
+        assert slowed.breakdown["recovery"] == 0.0
+        assert slowed.elapsed_seconds > clean.elapsed_seconds
+
+    def test_chaos_runs_are_deterministic(self):
+        a = self._run("chaos-crash")
+        b = self._run("chaos-crash")
+        assert a.n_faults == b.n_faults
+        assert a.elapsed_seconds == b.elapsed_seconds

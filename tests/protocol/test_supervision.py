@@ -34,14 +34,25 @@ def crashing_compute(x):
     return x * 10
 
 
-def run_app(runtime: Runtime, master_defn, worker_defn, supervise: bool, timeout=30.0):
+def run_app(
+    runtime: Runtime,
+    master_defn,
+    worker_defn,
+    supervise: bool,
+    timeout=30.0,
+    registry=None,
+):
     def main_body():
         block = Block("Main")
 
         @block.state(BEGIN)
         def begin(ctx):
             master = ctx.spawn(master_defn)
-            ctx.run_block(protocol_mw(master, worker_defn, supervise=supervise))
+            ctx.run_block(
+                protocol_mw(
+                    master, worker_defn, supervise=supervise, registry=registry
+                )
+            )
             ctx.terminated(master)
             ctx.halt()
 
@@ -148,6 +159,47 @@ class TestSupervisedFailures:
         )
         run_app(runtime, master_defn, worker_defn, supervise=True)
         assert outcome["results"] == [1, 2, 3, 4, 5]
+
+
+class TestSharedEscalationLadder:
+    def test_claimed_failures_land_in_the_shared_fault_log(self, runtime):
+        """The MANIFOLD ``death_worker`` path and the OS-level pool path
+        share one ladder: a supervised worker failure is recorded as a
+        structured ``death_worker`` fault whose action comes from the
+        same :class:`~repro.resilience.EscalationPolicy`."""
+        from repro.protocol import SupervisionRegistry
+        from repro.resilience import EscalationPolicy, FaultLog
+
+        log = FaultLog()
+        registry = SupervisionRegistry(
+            fault_log=log, escalation=EscalationPolicy()
+        )
+        worker_defn = make_worker_definition("Worker", crashing_compute)
+
+        def master_body(proc):
+            client = MasterProtocolClient(proc, timeout=20)
+            client.run_pool(
+                [WorkerJob(i, i) for i in range(6)], raise_on_failure=False
+            )
+            client.finished()
+
+        master_defn = AtomicDefinition(
+            "Master", master_body, in_ports=("input", "dataport")
+        )
+        run_app(
+            runtime, master_defn, worker_defn, supervise=True, registry=registry
+        )
+        assert registry.failures_handled == 3
+        assert len(log) == 3
+        for event in log.events():
+            assert event.kind == "death_worker"
+            assert event.detected_by == "supervisor"
+            # death of a worker means its slot is gone: the ladder
+            # prescribes reassignment, exactly as for an OS-level crash
+            assert event.action == "reassign"
+            assert "injected failure" in event.error
+        report = log.report()
+        assert report.faults == 3 and report.survived
 
 
 class TestUnsupervisedBehaviour:

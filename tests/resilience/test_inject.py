@@ -1,0 +1,114 @@
+"""The fault injector: spec grammar, deterministic matching, plan API."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.resilience import FAULT_KINDS, FaultPlan, FaultRule
+
+
+class TestFaultRule:
+    def test_validation(self):
+        with pytest.raises(ValueError, match="kind"):
+            FaultRule(kind="explode")
+        with pytest.raises(ValueError, match="rate"):
+            FaultRule(kind="crash", rate=0.0)
+        with pytest.raises(ValueError, match="factor"):
+            FaultRule(kind="slow", factor=0.5)
+
+    def test_targeted_rule_matches_only_its_grid_and_attempt(self):
+        rule = FaultRule(kind="crash", l=3, m=2, attempt=1)
+        assert rule.matches(3, 2, 1)
+        assert not rule.matches(3, 2, 2)
+        assert not rule.matches(2, 3, 1)
+
+    def test_wildcards_match_everything(self):
+        rule = FaultRule(kind="slow", attempt=None)
+        assert rule.matches(0, 0, 1)
+        assert rule.matches(9, 9, 7)
+
+    def test_rate_sampling_is_deterministic_and_seeded(self):
+        rule = FaultRule(kind="crash", rate=0.5, seed=7)
+        picks = [rule.matches(l, m, 1) for l in range(10) for m in range(10)]
+        assert picks == [
+            rule.matches(l, m, 1) for l in range(10) for m in range(10)
+        ]
+        hit_ratio = sum(picks) / len(picks)
+        assert 0.3 < hit_ratio < 0.7  # ~rate, deterministic
+        other = FaultRule(kind="crash", rate=0.5, seed=8)
+        assert picks != [
+            other.matches(l, m, 1) for l in range(10) for m in range(10)
+        ]
+
+
+class TestSpecGrammar:
+    def test_simple_targeted_crash(self):
+        plan = FaultPlan.parse("crash@3,2")
+        (rule,) = plan.rules
+        assert rule.kind == "crash"
+        assert (rule.l, rule.m, rule.attempt) == (3, 2, 1)
+
+    def test_all_kinds_parse(self):
+        for kind in FAULT_KINDS:
+            (rule,) = FaultPlan.parse(f"{kind}@1,1").rules
+            assert rule.kind == kind
+
+    def test_parameters_and_wildcard_target(self):
+        plan = FaultPlan.parse(
+            "slow@*:factor=4,rate=0.2,seed=11;hang@5,1:seconds=30;"
+            "raise@2,2:attempt=*;crash@0,1:attempt=2,exit_code=9"
+        )
+        slow, hang, raise_, crash = plan.rules
+        assert slow.l is None and slow.factor == 4.0 and slow.rate == 0.2
+        assert slow.seed == 11
+        assert hang.seconds == 30.0
+        assert raise_.attempt is None
+        assert crash.attempt == 2 and crash.exit_code == 9
+
+    def test_slow_defaults_to_every_attempt(self):
+        # a slow host stays slow: a retry must not magically speed up
+        (slow,) = FaultPlan.parse("slow@*").rules
+        assert slow.attempt is None
+        (crash,) = FaultPlan.parse("crash@*").rules
+        assert crash.attempt == 1
+
+    def test_default_seed_applies_to_every_clause(self):
+        plan = FaultPlan.parse("crash@*:rate=0.5", seed=42)
+        assert plan.rules[0].seed == 42
+
+    def test_rejects_garbage(self):
+        with pytest.raises(ValueError, match="kind"):
+            FaultPlan.parse("meltdown@1,1")
+        with pytest.raises(ValueError, match="target"):
+            FaultPlan.parse("crash@one,two")
+        with pytest.raises(ValueError, match="parameter"):
+            FaultPlan.parse("crash@1,1:when=later")
+        with pytest.raises(ValueError, match="no clauses"):
+            FaultPlan.parse(" ; ")
+
+
+class TestFaultPlan:
+    def test_first_match_wins(self):
+        plan = FaultPlan.parse("hang@1,1;crash@*:attempt=*")
+        assert plan.action(1, 1, 1).kind == "hang"
+        assert plan.action(0, 0, 1).kind == "crash"
+        # hang's default attempt=1 no longer matches; the wildcard does
+        assert plan.action(1, 1, 2).kind == "crash"
+
+    def test_no_match_returns_none(self):
+        plan = FaultPlan.parse("crash@3,2")
+        assert plan.action(0, 0, 1) is None
+
+    def test_plans_are_picklable_and_equal(self):
+        import pickle
+
+        plan = FaultPlan.parse("crash@3,2;slow@*:factor=2")
+        clone = pickle.loads(pickle.dumps(plan))
+        assert clone == plan
+        assert clone.action(3, 2, 1).kind == "crash"
+
+    def test_describe_round_trips_the_essentials(self):
+        plan = FaultPlan.parse("crash@3,2;slow@*:rate=0.2")
+        text = plan.describe()
+        assert "crash@3,2" in text
+        assert "slow@*" in text and "rate=0.2" in text

@@ -56,6 +56,12 @@ class TestExamples:
         out = run_example("failure_handling.py")
         assert "watchdog: no coordination activity" in out
         assert "failure handled" in out
+        # the escalation-ladder demo: a real worker killed at level 5,
+        # detected by liveness, recovered, bitwise-identical result
+        assert "crash on (2, 3)" in out
+        assert "-> reassign" in out
+        assert "faults: 1, recovered: 1" in out
+        assert "combined solution identical to fault-free run: True" in out
 
     def test_table1_reproduction_small(self):
         out = run_example("table1_reproduction.py", "6", timeout=300)
