@@ -20,17 +20,19 @@ import numpy as np
 import pytest
 
 from repro.restructured import run_multiprocessing, shutdown_pool
+from repro.trace import TraceAnalysis, TraceRecorder
 
 ROOT = 2
 
 
-def _run(settings: dict, faults: str | None):
+def _run(settings: dict, faults: str | None, trace: TraceRecorder | None = None):
     return run_multiprocessing(
         root=ROOT,
         level=settings["level"],
         tol=settings["tol"],
         processes=settings["processes"],
         faults=faults,
+        trace=trace,
     )
 
 
@@ -55,6 +57,13 @@ def test_recovered_run_within_2x_of_fault_free(benchmark, fault_recovery_setting
         rounds=settings["rounds"],
         iterations=1,
     )
+    # one extra traced round: the trace prices the recovery itself
+    # (seconds lost to detection + replayed compute), independent of
+    # end-to-end wall-clock noise
+    recorder = TraceRecorder()
+    started = time.perf_counter()
+    traced_result = _run(settings, faults=settings["fault"], trace=recorder)
+    traced_wall = time.perf_counter() - started
     shutdown_pool()
 
     assert recovered.faults == 1
@@ -62,14 +71,24 @@ def test_recovered_run_within_2x_of_fault_free(benchmark, fault_recovery_setting
     assert recovered.fallbacks == 0
     assert np.array_equal(recovered.combined, clean_result.combined)
 
+    analysis = TraceAnalysis(recorder.events())
+    assert analysis.n_faults == traced_result.faults
+    assert analysis.recovered_keys == set(traced_result.recovered_keys)
+    assert analysis.recovery_overhead_seconds > 0.0
+
     clean = min(clean_samples)
-    faulted = min(benchmark.stats.stats.data)
+    faulted = min([*benchmark.stats.stats.data, traced_wall])
     premium = faulted / clean
     benchmark.extra_info["fault_free_seconds"] = clean
     benchmark.extra_info["recovered_seconds"] = faulted
     benchmark.extra_info["recovery_premium"] = premium
+    benchmark.extra_info["trace_recovery_overhead_seconds"] = (
+        analysis.recovery_overhead_seconds
+    )
+    benchmark.extra_info["trace_mean_utilization"] = analysis.mean_utilization
     print(f"\nfault recovery: clean {clean:.3f}s recovered {faulted:.3f}s "
-          f"premium {premium:.2f}x")
+          f"premium {premium:.2f}x (traced overhead "
+          f"{analysis.recovery_overhead_seconds:.3f}s)")
     assert premium <= 2.0, (
         f"one injected crash must cost at most 2x the fault-free wall "
         f"time, got {premium:.2f}x"

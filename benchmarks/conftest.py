@@ -77,7 +77,8 @@ def cost_model() -> CostModel:
         except (KeyError, ValueError):
             CACHE.unlink()
     records = measure_costs(
-        "rotating-cone", root=2, levels=CALIBRATION_LEVELS, tols=TOLS
+        "rotating-cone", root=2, levels=CALIBRATION_LEVELS, tols=TOLS,
+        repeats=2,
     )
     model = CostModel.fit(records, root=2)
     model.to_json(CACHE)

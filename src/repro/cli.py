@@ -98,6 +98,18 @@ def build_parser() -> argparse.ArgumentParser:
     p_par.add_argument("--deadline-seconds", type=float, default=None,
                        help="flat per-job deadline when no cost model "
                        "is given (default policy: 60s)")
+    p_par.add_argument("--trace", default=None, metavar="OUT.jsonl",
+                       help="record the run's structured event timeline "
+                       "and write it as JSONL (inspect with analyze-trace)")
+
+    p_antr = sub.add_parser(
+        "analyze-trace",
+        help="analyze a JSONL run trace written by run-parallel --trace",
+    )
+    p_antr.add_argument("path", help="the JSONL trace file")
+    p_antr.add_argument("--chrome", default=None, metavar="OUT.json",
+                        help="also convert to Chrome tracing JSON "
+                        "(open in chrome://tracing or Perfetto)")
 
     p_cal = sub.add_parser("calibrate", help="fit the cost model on real solves")
     p_cal.add_argument("--levels", type=int, nargs="+", default=[4, 5, 6])
@@ -107,6 +119,9 @@ def build_parser() -> argparse.ArgumentParser:
     p_cal.add_argument("--root", type=int, default=2)
     p_cal.add_argument("--output", default="calibration.json",
                        help="where to write the fitted model")
+    p_cal.add_argument("--repeats", type=int, default=2,
+                       help="solves per grid; the fastest is kept, which "
+                       "shields the fit from background load (default 2)")
 
     def add_model_args(p: argparse.ArgumentParser) -> None:
         p.add_argument("--model", default=None,
@@ -157,7 +172,8 @@ def _load_or_calibrate_model(args) -> "CostModel":
         return CostModel.from_json(args.model)
     print("calibrating cost model (levels 4-6)...", file=sys.stderr)
     records = measure_costs(
-        "rotating-cone", root=2, levels=[4, 5, 6], tols=[1.0e-3, 1.0e-4]
+        "rotating-cone", root=2, levels=[4, 5, 6], tols=[1.0e-3, 1.0e-4],
+        repeats=2,
     )
     return CostModel.fit(records, root=2)
 
@@ -252,7 +268,14 @@ def cmd_run_parallel(args) -> int:
             else DeadlinePolicy.default_seconds,
         )
     result = None
+    recorder = None
     for run in range(max(1, args.repeat)):
+        if args.trace:
+            # one recorder per run: the written trace (and the report's
+            # trace metrics) describe the final run, not a mixture
+            from repro.trace import TraceRecorder
+
+            recorder = TraceRecorder()
         result = run_multiprocessing(
             root=args.root, level=args.level, tol=args.tol,
             problem_name=args.problem,
@@ -265,17 +288,23 @@ def cmd_run_parallel(args) -> int:
             deadline=deadline,
             faults=args.faults,
             fault_seed=args.fault_seed,
+            trace=recorder,
         )
         label = "cold" if args.cold else ("warm" if result.warm_pool else "cool")
         print(f"run {run + 1} ({label}): total {result.total_seconds:.3f}s "
               f"(pool {result.pool_seconds:.3f}s) on {result.processes} "
               f"process(es), {result.n_workers} grids")
     print()
-    for line in warm_path_report(result).lines():
+    for line in warm_path_report(result, trace=recorder).lines():
         print(line)
     if result.faults:
         for line in result.fault_report.lines():
             print(line)
+    if args.trace:
+        from repro.trace import write_jsonl
+
+        count = write_jsonl(recorder.events(), args.trace)
+        print(f"trace: {count} events written to {args.trace}")
     if args.verify:
         seq = SequentialApplication(
             root=args.root, level=args.level, tol=args.tol,
@@ -287,11 +316,26 @@ def cmd_run_parallel(args) -> int:
     return 0
 
 
+def cmd_analyze_trace(args) -> int:
+    from repro.trace import TraceAnalysis, read_jsonl, write_chrome_trace
+
+    events = read_jsonl(args.path)
+    analysis = TraceAnalysis(events)
+    analysis.check_span_nesting()
+    for line in analysis.report_lines():
+        print(line)
+    if args.chrome:
+        count = write_chrome_trace(events, args.chrome)
+        print(f"chrome trace ({count} records) written to {args.chrome}")
+    return 0
+
+
 def cmd_calibrate(args) -> int:
     from repro.perf import CostModel, measure_costs
 
     records = measure_costs(
-        args.problem, root=args.root, levels=args.levels, tols=args.tols
+        args.problem, root=args.root, levels=args.levels, tols=args.tols,
+        repeats=args.repeats,
     )
     model = CostModel.fit(records, root=args.root)
     model.to_json(args.output)
@@ -405,6 +449,7 @@ _COMMANDS = {
     "run-sequential": cmd_run_sequential,
     "run-concurrent": cmd_run_concurrent,
     "run-parallel": cmd_run_parallel,
+    "analyze-trace": cmd_analyze_trace,
     "calibrate": cmd_calibrate,
     "table1": cmd_table1,
     "figures": cmd_figures,

@@ -22,6 +22,8 @@ import threading
 import time
 from typing import Callable, Optional
 
+from repro.trace.recorder import emit as trace_emit
+
 from .events import Event, EventMemory, EventOccurrence
 from .process import (
     AtomicDefinition,
@@ -32,6 +34,14 @@ from .process import (
 )
 
 __all__ = ["Runtime"]
+
+#: MANIFOLD event names that get their own typed trace kind; everything
+#: else lands as a generic ``manifold_event``
+_TRACED_EVENT_KINDS = {
+    "death_worker": "death_worker",
+    "rendezvous": "rendezvous",
+    "a_rendezvous": "rendezvous",
+}
 
 
 class Runtime:
@@ -83,6 +93,7 @@ class Runtime:
             if proc not in self._processes:
                 self._processes.append(proc)
         self._emit(f"activate {proc.name}")
+        trace_emit("process_activate", worker=proc.name)
         with self._lock:
             self._activity += 1
         for hook in list(self.on_activate_hooks):
@@ -120,6 +131,13 @@ class Runtime:
             self._activity += 1
         source = occurrence.source.name if occurrence.source else "<runtime>"
         self._emit(f"event {occurrence.event.name} raised by {source}")
+        name = occurrence.event.name
+        if name != "death":  # process death is traced in on_process_death
+            trace_emit(
+                _TRACED_EVENT_KINDS.get(name, "manifold_event"),
+                worker=source,
+                event=name,
+            )
         for memory in subscribers:
             memory.deliver(occurrence)
 
@@ -138,6 +156,7 @@ class Runtime:
     def on_process_death(self, proc: ProcessBase) -> None:
         """Called by every process when it reaches a final state."""
         self._emit(f"death {proc.name} ({proc.state.value})")
+        trace_emit("process_death", worker=proc.name, state=proc.state.value)
         with self._lock:
             self._activity += 1
         for hook in list(self.on_death_hooks):

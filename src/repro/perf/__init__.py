@@ -14,7 +14,7 @@
 """
 
 from .bridge import costs_from_run, records_from_run, replay_on_cluster
-from .costmodel import CostModel, CostRecord, measure_costs
+from .costmodel import CalibrationError, CostModel, CostRecord, measure_costs
 from .metrics import RunStatistics, speedup, summarize_runs
 from .overhead import OverheadReport, decompose_run
 from .timing import TimingResult, time_callable
@@ -28,6 +28,7 @@ from .warmpath import (
 )
 
 __all__ = [
+    "CalibrationError",
     "CostModel",
     "CostRecord",
     "DispatchMakespan",

@@ -11,6 +11,7 @@ simulator's :class:`~repro.cluster.simulator.GridCost` inputs and into
 
 from __future__ import annotations
 
+import math
 from typing import Sequence, Union
 
 import numpy as np
@@ -35,7 +36,13 @@ AnyRunResult = Union[SequentialResult, ConcurrentResult, MultiprocessingResult]
 
 
 def _per_grid(result: AnyRunResult) -> dict[tuple[int, int], tuple[float, int, int]]:
-    """(wall seconds, solves, result bytes) per grid, from any run kind."""
+    """(wall seconds, solves, result bytes) per grid, from any run kind.
+
+    Rejects non-finite or negative wall times up front: a corrupted
+    timing (NaN from a serialization bug, a negative from clock
+    arithmetic) would otherwise silently poison the cost-model fit or
+    the cluster replay far downstream of its origin.
+    """
     out: dict[tuple[int, int], tuple[float, int, int]] = {}
     if isinstance(result, SequentialResult):
         for key, sub in result.data.results.items():
@@ -43,6 +50,16 @@ def _per_grid(result: AnyRunResult) -> dict[tuple[int, int], tuple[float, int, i
     else:
         for key, payload in result.payloads.items():
             out[key] = (payload.wall_seconds, payload.solves, payload.solution.nbytes)
+    bad = {
+        key: wall
+        for key, (wall, _solves, _bytes) in out.items()
+        if not math.isfinite(wall) or wall < 0.0
+    }
+    if bad:
+        raise ValueError(
+            f"run result carries invalid wall_seconds for grids {sorted(bad)}: "
+            f"{[bad[k] for k in sorted(bad)]}"
+        )
     return out
 
 

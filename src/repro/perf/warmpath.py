@@ -159,6 +159,8 @@ class WarmPathReport:
     recovered: int = 0
     fallbacks: int = 0
     pool_respawns: int = 0
+    #: trace-derived metrics of the run (None when it was not traced)
+    trace: Optional["TraceAnalysis"] = None
 
     def lines(self) -> list[str]:
         """Human-readable report lines for the CLI."""
@@ -171,7 +173,25 @@ class WarmPathReport:
                 f"{self.fallbacks} sequential fallbacks, "
                 f"{self.pool_respawns} pool respawns"
             )
-        return resilience + [
+        traced = []
+        if self.trace is not None:
+            t = self.trace
+            lanes = t.worker_utilization()
+            traced.append(
+                f"trace: mean utilization {t.mean_utilization:.2f} over "
+                f"{len(lanes)} worker lane(s), queue wait "
+                f"{t.total_queue_wait_seconds:.3f}s vs compute "
+                f"{t.total_compute_seconds:.3f}s, critical path "
+                f"{t.critical_path_seconds:.3f}s"
+            )
+            if t.n_faults:
+                traced.append(
+                    f"trace: recovery overhead "
+                    f"{t.recovery_overhead_seconds:.3f}s "
+                    f"({t.fault_seconds_lost:.3f}s lost + "
+                    f"{t.replay_compute_seconds:.3f}s replayed)"
+                )
+        return resilience + traced + [
             f"dispatch: {self.dispatch}, pool: "
             f"{'warm' if self.warm_pool else 'cold'}"
             + (
@@ -193,10 +213,33 @@ class WarmPathReport:
         ]
 
 
+def _as_trace_analysis(trace):
+    """Accept a TraceRecorder, an event sequence, or a TraceAnalysis."""
+    if trace is None:
+        return None
+    from repro.trace.analysis import TraceAnalysis
+    from repro.trace.recorder import TraceRecorder
+
+    if isinstance(trace, TraceAnalysis):
+        return trace
+    if isinstance(trace, TraceRecorder):
+        return TraceAnalysis(trace.events())
+    return TraceAnalysis(trace)
+
+
 def warm_path_report(
-    result: MultiprocessingResult, n_workers: Optional[int] = None
+    result: MultiprocessingResult,
+    n_workers: Optional[int] = None,
+    *,
+    trace=None,
 ) -> WarmPathReport:
-    """Summarize one ``run_multiprocessing`` result."""
+    """Summarize one ``run_multiprocessing`` result.
+
+    ``trace`` — the run's :class:`~repro.trace.TraceRecorder` (or its
+    events, or a ready :class:`~repro.trace.TraceAnalysis`) adds the
+    trace-derived utilization / queue-wait / critical-path metrics to
+    the report.
+    """
     return WarmPathReport(
         level=result.level,
         tol=result.tol,
@@ -216,4 +259,5 @@ def warm_path_report(
         recovered=result.recovered,
         fallbacks=result.fallbacks,
         pool_respawns=result.pool_respawns,
+        trace=_as_trace_analysis(trace),
     )

@@ -18,6 +18,7 @@ import numpy as np
 
 from repro.manifold import AtomicDefinition, AtomicProcess
 from repro.protocol import MasterProtocolClient, WorkerJob
+from repro.trace.recorder import trace_span
 from repro.sparsegrid.combination import combine
 from repro.sparsegrid.grid import Grid
 
@@ -92,34 +93,38 @@ def make_master_definition(
         # step 3 (+4): delegate each grid's subsolve to a pool worker
         t_pool = time.perf_counter()
         n_workers = 0
-        for pool_grids in grids_by_pool():
-            jobs = [
-                WorkerJob(
-                    job_id=(g.l, g.m),
-                    payload=SubsolveJobSpec(
-                        problem_name=problem_name,
-                        root=root,
-                        l=g.l,
-                        m=g.m,
-                        tol=tol,
-                        t_end=t_end,
-                        scheme=scheme,
-                        problem_kwargs=kw_pairs,
-                    ),
-                )
-                for g in pool_grids
-            ]
-            n_workers += len(jobs)
-            for result in client.run_pool(jobs):
-                payload = result.payload
-                payloads[(payload.l, payload.m)] = payload
-        client.finished()
+        with trace_span("master_fanout"):
+            for pool_grids in grids_by_pool():
+                jobs = [
+                    WorkerJob(
+                        job_id=(g.l, g.m),
+                        payload=SubsolveJobSpec(
+                            problem_name=problem_name,
+                            root=root,
+                            l=g.l,
+                            m=g.m,
+                            tol=tol,
+                            t_end=t_end,
+                            scheme=scheme,
+                            problem_kwargs=kw_pairs,
+                        ),
+                    )
+                    for g in pool_grids
+                ]
+                n_workers += len(jobs)
+                for result in client.run_pool(jobs):
+                    payload = result.payload
+                    payloads[(payload.l, payload.m)] = payload
+            client.finished()
         pool_seconds = time.perf_counter() - t_pool
 
         # step 5: final sequential computation — the prolongation work
         t_prol = time.perf_counter()
-        solutions = {key: p.solution for key, p in payloads.items()}
-        target_grid, combined = combine(solutions, root, level, target_cap=target_cap)
+        with trace_span("prolongation"):
+            solutions = {key: p.solution for key, p in payloads.items()}
+            target_grid, combined = combine(
+                solutions, root, level, target_cap=target_cap
+            )
         prolongation_seconds = time.perf_counter() - t_prol
 
         outcome = ConcurrentResult(

@@ -61,6 +61,7 @@ import numpy as np
 
 from repro.sparsegrid.combination import combine
 from repro.sparsegrid.grid import Grid, nested_loop_grids
+from repro.trace.recorder import recording, trace_span
 
 from .pool import PersistentWorkerPool, acquire_pool, respawn_pool
 from .worker import (
@@ -78,6 +79,38 @@ __all__ = [
 ]
 
 DISPATCH_POLICIES = ("longest-first", "static")
+
+
+def _trace_payload(trace, payload, *, attempt: int = 1, fallback: bool = False) -> None:
+    """Emit one completed job's lifecycle onto the trace timeline.
+
+    The start/finish timestamps were measured by the worker process's
+    own monotonic clock and carried home in the payload; on Linux that
+    is the same ``CLOCK_MONOTONIC`` the recorder's default clock reads,
+    so they land directly on the shared time axis.
+    """
+    if trace is None:
+        return
+    key = (payload.l, payload.m)
+    worker = payload.worker_pid or None
+    started = payload.started_monotonic or None
+    trace.record(
+        "cache_hit" if payload.operator_cache_hit else "cache_miss",
+        key=key,
+        worker=worker,
+        t=started,
+    )
+    trace.record("job_start", key=key, worker=worker, attempt=attempt, t=started)
+    extra = {"fallback": True} if fallback else {}
+    trace.record(
+        "job_done",
+        key=key,
+        worker=worker,
+        attempt=attempt,
+        t=payload.finished_monotonic or None,
+        wall_seconds=payload.wall_seconds,
+        **extra,
+    )
 
 
 def predicted_spec_seconds(spec: SubsolveJobSpec, cost_model=None) -> float:
@@ -264,6 +297,7 @@ def _run_resilient(
     cost_model,
     fault_log=None,
     poll_interval: float = 0.02,
+    trace=None,
 ) -> _ResilientOutcome:
     """Dispatch ``ordered`` with crash/hang/exception recovery.
 
@@ -298,6 +332,8 @@ def _run_resilient(
         nonlocal attempts
         attempts += 1
         now = time.monotonic()
+        if trace is not None:
+            trace.record("job_submit", key=(spec.l, spec.m), attempt=attempt)
         handle = lease.pool.submit(
             resilient_entry, (spec, plan, attempt, use_cache)
         )
@@ -310,10 +346,12 @@ def _run_resilient(
         )
 
     def complete(key: tuple[int, int], payload: SubsolvePayload) -> None:
-        was_replay = pending[key].attempt > 1
+        job = pending[key]
+        was_replay = job.attempt > 1
         del pending[key]
         completed[key] = payload
         completion_order.append(key)
+        _trace_payload(trace, payload, attempt=job.attempt)
         if was_replay and key not in recovered_keys:
             recovered_keys.append(key)
 
@@ -334,17 +372,18 @@ def _run_resilient(
             # so the pool can still be drained gracefully later
             lease.pool.discard(job.handle)
         step = escalation.decide(job.attempt, kind)
-        log.record(
-            FaultEvent(
-                key=key,
-                kind=kind,
-                attempt=job.attempt,
-                action=step.value,
-                detected_by=detected_by,
-                error=error,
-                seconds_lost=time.monotonic() - job.submitted_at,
-            )
+        event = FaultEvent(
+            key=key,
+            kind=kind,
+            attempt=job.attempt,
+            action=step.value,
+            detected_by=detected_by,
+            error=error,
+            seconds_lost=time.monotonic() - job.submitted_at,
         )
+        log.record(event)
+        if trace is not None:
+            trace.record_fault(event)
         if step in (EscalationStep.RETRY, EscalationStep.REASSIGN):
             if kind in ("hang", "deadline"):
                 # the worker is wedged and occupies a slot forever:
@@ -354,9 +393,20 @@ def _run_resilient(
                 collateral = list(pending.values())
                 pending.clear()
                 lease.respawn()
+                if trace is not None:
+                    trace.record(
+                        "respawn",
+                        key=key,
+                        attempt=job.attempt,
+                        collateral=len(collateral),
+                    )
                 for other in collateral:
                     submit(other.spec, other.attempt)
             time.sleep(retry.delay_seconds(job.attempt, key))
+            if trace is not None:
+                trace.record(
+                    "retry", key=key, attempt=job.attempt + 1, cause=kind
+                )
             submit(job.spec, job.attempt + 1)
         elif step is EscalationStep.FALLBACK:
             # graceful degradation: the master computes the grid itself,
@@ -379,6 +429,13 @@ def _run_resilient(
             completed[key] = payload
             completion_order.append(key)
             fallback_keys.append(key)
+            if trace is not None:
+                trace.record("fallback", key=key, attempt=job.attempt, cause=kind)
+                # attempt + 1: the in-master replay is a fresh attempt,
+                # distinct from the failed one on the (key, attempt) axis
+                _trace_payload(
+                    trace, payload, attempt=job.attempt + 1, fallback=True
+                )
             if key not in recovered_keys:
                 recovered_keys.append(key)
         else:  # EscalationStep.FAIL
@@ -476,6 +533,7 @@ def run_multiprocessing(
     faults: Union[str, object, None] = None,
     fault_seed: int = 0,
     fault_log=None,
+    trace=None,
 ) -> MultiprocessingResult:
     """Run the whole application with a process pool over the grids.
 
@@ -491,6 +549,11 @@ def run_multiprocessing(
     dispatch loop; ``fault_log`` optionally shares one
     :class:`~repro.resilience.FaultLog` with other detectors (e.g. the
     protocol supervisor) so a run has a single failure history.
+
+    ``trace`` (a :class:`~repro.trace.TraceRecorder`) records the run's
+    structured event timeline: job lifecycle, faults and recovery
+    actions, and — because the recorder is installed globally for the
+    duration — the pool's worker spawns/deaths too.
     """
     if dispatch not in DISPATCH_POLICIES:
         raise ValueError(
@@ -550,59 +613,75 @@ def run_multiprocessing(
     completion_order: tuple[tuple[int, int], ...]
 
     t_pool = time.perf_counter()
-    if resilient:
-        lease = _PoolLease(n_proc, shared=warm_pool)
-        try:
-            outcome = _run_resilient(
-                lease,
-                ordered,
-                use_cache=operator_cache,
-                plan=plan,
-                escalation=escalation,
-                cost_model=cost_model,
-                fault_log=fault_log,
-            )
-        finally:
-            lease.release()
-        was_warm = lease.was_warm
-        cold_start = lease.cold_start_seconds
-        n_proc = lease.pool.processes
-        payloads = outcome.payloads
-        completion_order = outcome.completion_order
-        attempts = outcome.attempts
-        events = outcome.events
-        recovered_keys = outcome.recovered_keys
-        fallback_keys = outcome.fallback_keys
-        respawns = outcome.respawns
-    elif warm_pool:
-        pool, was_warm = acquire_pool(n_proc)
-        cold_start = 0.0 if was_warm else pool.cold_start_seconds
-        if dispatch == "static":
-            payload_list = pool.map_static(job, ordered)
-        else:
-            payload_list = list(pool.imap_unordered(job, ordered))
-        n_proc = pool.processes
-        payloads = {(p.l, p.m): p for p in payload_list}
-        completion_order = tuple((p.l, p.m) for p in payload_list)
-    else:
-        was_warm = False
-        t_fork = time.perf_counter()
-        fresh = multiprocessing.get_context("fork").Pool(n_proc)
-        cold_start = time.perf_counter() - t_fork
-        try:
-            if dispatch == "static":
-                payload_list = fresh.map(job, ordered)
+    with recording(trace):
+        with trace_span("fanout"):
+            if resilient:
+                lease = _PoolLease(n_proc, shared=warm_pool)
+                try:
+                    outcome = _run_resilient(
+                        lease,
+                        ordered,
+                        use_cache=operator_cache,
+                        plan=plan,
+                        escalation=escalation,
+                        cost_model=cost_model,
+                        fault_log=fault_log,
+                        trace=trace,
+                    )
+                finally:
+                    lease.release()
+                was_warm = lease.was_warm
+                cold_start = lease.cold_start_seconds
+                n_proc = lease.pool.processes
+                payloads = outcome.payloads
+                completion_order = outcome.completion_order
+                attempts = outcome.attempts
+                events = outcome.events
+                recovered_keys = outcome.recovered_keys
+                fallback_keys = outcome.fallback_keys
+                respawns = outcome.respawns
+            elif warm_pool:
+                pool, was_warm = acquire_pool(n_proc)
+                cold_start = 0.0 if was_warm else pool.cold_start_seconds
+                if trace is not None:
+                    for s in ordered:
+                        trace.record("job_submit", key=(s.l, s.m), attempt=1)
+                if dispatch == "static":
+                    payload_list = pool.map_static(job, ordered)
+                else:
+                    payload_list = list(pool.imap_unordered(job, ordered))
+                n_proc = pool.processes
+                for p in payload_list:
+                    _trace_payload(trace, p)
+                payloads = {(p.l, p.m): p for p in payload_list}
+                completion_order = tuple((p.l, p.m) for p in payload_list)
             else:
-                payload_list = list(fresh.imap_unordered(job, ordered, 1))
-        finally:
-            fresh.close()
-            fresh.join()
-        payloads = {(p.l, p.m): p for p in payload_list}
-        completion_order = tuple((p.l, p.m) for p in payload_list)
-    pool_seconds = time.perf_counter() - t_pool
+                was_warm = False
+                t_fork = time.perf_counter()
+                fresh = multiprocessing.get_context("fork").Pool(n_proc)
+                cold_start = time.perf_counter() - t_fork
+                if trace is not None:
+                    for s in ordered:
+                        trace.record("job_submit", key=(s.l, s.m), attempt=1)
+                try:
+                    if dispatch == "static":
+                        payload_list = fresh.map(job, ordered)
+                    else:
+                        payload_list = list(fresh.imap_unordered(job, ordered, 1))
+                finally:
+                    fresh.close()
+                    fresh.join()
+                for p in payload_list:
+                    _trace_payload(trace, p)
+                payloads = {(p.l, p.m): p for p in payload_list}
+                completion_order = tuple((p.l, p.m) for p in payload_list)
+        pool_seconds = time.perf_counter() - t_pool
 
-    solutions = {key: p.solution for key, p in payloads.items()}
-    target_grid, combined = combine(solutions, root, level, target_cap=target_cap)
+        solutions = {key: p.solution for key, p in payloads.items()}
+        with trace_span("prolongation"):
+            target_grid, combined = combine(
+                solutions, root, level, target_cap=target_cap
+            )
     return MultiprocessingResult(
         root=root,
         level=level,

@@ -49,6 +49,8 @@ import threading
 import time
 from typing import Any, Callable, Iterable, Optional
 
+from repro.trace.recorder import emit as trace_emit
+
 __all__ = [
     "PoolClosedError",
     "PersistentWorkerPool",
@@ -104,6 +106,8 @@ class PersistentWorkerPool:
             proc.pid for proc in self._pool._pool  # type: ignore[attr-defined]
         }
         self.cold_start_seconds = time.perf_counter() - started
+        for pid in sorted(self._known_pids):
+            trace_emit("worker_spawn", worker=pid, processes=processes)
         self.jobs_dispatched = 0
         self.batches_dispatched = 0
         self.closed = False
@@ -193,10 +197,16 @@ class PersistentWorkerPool:
             dead = self._known_pids - alive
             self._known_pids = alive | (self._known_pids - dead)
             # repopulated replacements join the watch set
-            self._known_pids |= {
+            current = {
                 proc.pid
                 for proc in list(self._pool._pool)  # type: ignore[attr-defined]
             }
+            fresh = current - self._known_pids
+            self._known_pids |= current
+            for pid in sorted(dead):
+                trace_emit("death_worker", worker=pid, detected_by="liveness")
+            for pid in sorted(fresh):
+                trace_emit("worker_spawn", worker=pid, repopulated=True)
             return dead
 
     def discard(self, handle) -> None:

@@ -20,6 +20,8 @@ configurations of the paper:
 from __future__ import annotations
 
 import multiprocessing
+import os
+import time
 from dataclasses import dataclass
 from typing import Optional
 
@@ -105,6 +107,16 @@ class SubsolvePayload:
     factor_cache_hits: int = 0
     #: seconds spent assembling the operator (0.0 on a cache hit)
     assembly_seconds: float = 0.0
+    # ------------------------------------------------------------------
+    # trace observability: where and when this job actually ran.  On
+    # Linux ``time.monotonic`` is CLOCK_MONOTONIC, shared across
+    # processes, so these land on the master's trace timeline directly.
+    # ------------------------------------------------------------------
+    #: OS PID of the process that executed the job (0 = unknown)
+    worker_pid: int = 0
+    #: ``time.monotonic()`` just before / after the computation
+    started_monotonic: float = 0.0
+    finished_monotonic: float = 0.0
 
     @property
     def factor_reuse_ratio(self) -> float:
@@ -123,6 +135,7 @@ def execute_job(spec: SubsolveJobSpec, *, use_cache: bool = True) -> SubsolvePay
     warm-path cache; results are bitwise identical either way, only the
     assembly/factorization work is skipped on a hit.
     """
+    started_monotonic = time.monotonic()
     if use_cache:
         cache = default_operator_cache()
         entry, hit = cache.get(
@@ -164,6 +177,9 @@ def execute_job(spec: SubsolveJobSpec, *, use_cache: bool = True) -> SubsolvePay
         factor_reuse_hits=stats.factor_reuse_hits,
         factor_cache_hits=stats.factor_cache_hits,
         assembly_seconds=0.0 if hit else stats.assembly_seconds,
+        worker_pid=os.getpid(),
+        started_monotonic=started_monotonic,
+        finished_monotonic=time.monotonic(),
     )
 
 

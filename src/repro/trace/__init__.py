@@ -1,0 +1,52 @@
+"""Unified run tracing: one structured timeline across every layer.
+
+The restructuring the paper describes makes the run's coordination
+structure explicit — master, workers-pool, rendezvous — but executing
+that structure is not the same as *seeing* it.  This package records a
+single chronological timeline of what every component did when:
+
+* :mod:`recorder` — :class:`TraceRecorder` (injectable monotonic clock,
+  typed :class:`TraceEvent` records, spans) and the low-overhead global
+  hook (:func:`emit`, :func:`trace_span`) the shared pool and the
+  MANIFOLD runtime report through;
+* :mod:`export` — JSONL round-trip and the Chrome ``chrome://tracing``
+  format;
+* :mod:`analysis` — :class:`TraceAnalysis`: per-worker utilization,
+  critical path, queue-wait vs compute breakdown and recovery overhead.
+
+Entry points: ``repro run-parallel --trace out.jsonl`` records a run;
+``repro analyze-trace out.jsonl`` reports on it.  See
+``docs/observability.md``.
+"""
+
+from .analysis import JobSpan, SpanNestingError, TraceAnalysis
+from .export import read_jsonl, write_chrome_trace, write_jsonl
+from .recorder import (
+    EVENT_KINDS,
+    TraceEvent,
+    TraceRecorder,
+    current_recorder,
+    emit,
+    install_recorder,
+    recording,
+    trace_span,
+    uninstall_recorder,
+)
+
+__all__ = [
+    "EVENT_KINDS",
+    "JobSpan",
+    "SpanNestingError",
+    "TraceAnalysis",
+    "TraceEvent",
+    "TraceRecorder",
+    "current_recorder",
+    "emit",
+    "install_recorder",
+    "read_jsonl",
+    "recording",
+    "trace_span",
+    "uninstall_recorder",
+    "write_chrome_trace",
+    "write_jsonl",
+]

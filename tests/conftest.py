@@ -3,11 +3,33 @@
 from __future__ import annotations
 
 import math
+import os
+import random
 
 import pytest
 
 from repro.manifold import Runtime
 from repro.perf.costmodel import CostModel, CostRecord
+
+
+def pytest_collection_modifyitems(config, items):
+    """Optionally shuffle collection order to flush order-dependent state.
+
+    The shuffled CI job sets ``REPRO_TEST_SHUFFLE_SEED``; the permutation
+    is a pure function of the seed, so any failing order can be replayed
+    locally by exporting the same value.
+    """
+    seed = os.environ.get("REPRO_TEST_SHUFFLE_SEED")
+    if not seed:
+        return
+    random.Random(seed).shuffle(items)
+
+
+def pytest_report_header(config):
+    seed = os.environ.get("REPRO_TEST_SHUFFLE_SEED")
+    if seed:
+        return f"shuffled collection order: REPRO_TEST_SHUFFLE_SEED={seed}"
+    return None
 
 
 @pytest.fixture()
@@ -75,6 +97,7 @@ def calibrated_cost_model() -> CostModel:
     from repro.perf.costmodel import measure_costs
 
     records = measure_costs(
-        "rotating-cone", root=2, levels=[4, 5, 6], tols=[1.0e-3, 1.0e-4]
+        "rotating-cone", root=2, levels=[4, 5, 6], tols=[1.0e-3, 1.0e-4],
+        repeats=2,
     )
     return CostModel.fit(records, root=2)

@@ -10,6 +10,7 @@ from repro.perf.bridge import costs_from_run, records_from_run, replay_on_cluste
 from repro.perf.costmodel import CostModel
 from repro.restructured import run_concurrent, run_multiprocessing
 from repro.sparsegrid import SequentialApplication
+from tests.conftest import synthetic_records
 
 
 @pytest.fixture(scope="module")
@@ -64,14 +65,34 @@ class TestRecordsFromRun:
         records = records_from_run(sequential_result)
         assert len(records) == 5
         assert all(r.tol == 1e-3 for r in records)
-        # too few for a fit alone, but concatenating runs works; level 5
-        # gives the fit enough dynamic range to stay robust even when
-        # the small-grid timings are noisy under load
-        more = records_from_run(
-            SequentialApplication(root=2, level=5, tol=1e-3).run()
-        )
+        # too few for a fit alone, but concatenating with other
+        # calibration records works.  The companion set is synthetic
+        # (noise-free ground truth) so this test cannot be knocked over
+        # by background load inflating a second live run's timings —
+        # the load-degeneracy itself is covered deterministically in
+        # test_costmodel.py::TestDegenerateFitRecovery
+        more = synthetic_records(levels=range(4, 7), tols=(1e-3,))
         model = CostModel.fit(records + more, root=2, noise_floor_seconds=1e-3)
         assert model.work_seconds(2, 2, 1e-3) > 0
+
+    def test_invalid_wall_seconds_rejected(self, sequential_result):
+        import copy
+        import dataclasses
+
+        broken = copy.deepcopy(sequential_result)
+        sub = broken.data.results[(1, 1)]
+        broken.data.results[(1, 1)] = dataclasses.replace(
+            sub, wall_seconds=float("nan")
+        )
+        with pytest.raises(ValueError, match="invalid wall_seconds"):
+            records_from_run(broken)
+        with pytest.raises(ValueError, match="invalid wall_seconds"):
+            costs_from_run(broken)
+        broken.data.results[(1, 1)] = dataclasses.replace(
+            sub, wall_seconds=-0.5
+        )
+        with pytest.raises(ValueError, match="invalid wall_seconds"):
+            records_from_run(broken)
 
 
 class TestReplay:

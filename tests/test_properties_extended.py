@@ -6,7 +6,7 @@ import math
 
 import numpy as np
 import pytest
-from hypothesis import given, settings
+from hypothesis import example, given, settings
 from hypothesis import strategies as st
 
 from repro.cluster.simulator import GridCost
@@ -177,9 +177,18 @@ def test_render_table_aligns_any_content(rows):
     ),
     split=st.integers(min_value=0, max_value=12),
 )
+@example(works=[1.0, 1.0], split=1)
 @settings(max_examples=30, deadline=None)
 def test_pool_split_never_faster(works, split):
-    """Splitting one pool into two (a barrier) can only slow the run."""
+    """Splitting one pool into two (a barrier) can only slow the run —
+    up to fork savings.
+
+    The pinned example is the counterexample to the naive bound: with
+    perpetual task-instance reuse, pool 2 can adopt pool 1's idle task
+    instance instead of forking its own, taking ``fork_seconds`` off
+    the master's critical path.  Any residual advantage of the split
+    run is therefore bounded by the forks it saved.
+    """
     from repro.cluster import MultiUserNoise, SimulationParams, uniform_cluster
     from repro.cluster.simulator import simulate_distributed
 
@@ -197,4 +206,10 @@ def test_pool_split_never_faster(works, split):
     double = simulate_distributed(
         pools, cluster, params, np.random.default_rng(0)
     )
-    assert double.elapsed_seconds >= single.elapsed_seconds - 1e-9
+    fork_credit = params.fork_seconds * max(
+        0, single.n_tasks_forked - double.n_tasks_forked
+    )
+    assert (
+        double.elapsed_seconds
+        >= single.elapsed_seconds - fork_credit - 1e-9
+    )

@@ -1,0 +1,167 @@
+"""TraceAnalysis invariants on exactly-known synthetic timelines."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.trace import SpanNestingError, TraceAnalysis, TraceRecorder
+
+from .test_recorder import FakeClock
+
+
+def build_two_worker_timeline() -> TraceRecorder:
+    """Two workers, three jobs, exactly-known times (clock in seconds).
+
+    worker A: (0,1) computes t=1..3, then (2,0) computes t=4..9
+    worker B: (1,0) computes t=2..6
+    """
+    clock = FakeClock(start=0.0)
+    rec = TraceRecorder(clock=clock)
+    for key in ((0, 1), (1, 0), (2, 0)):
+        rec.record("job_submit", key=key, attempt=1, t=0.0)
+    rec.record("job_start", key=(0, 1), worker="A", attempt=1, t=1.0)
+    rec.record("job_start", key=(1, 0), worker="B", attempt=1, t=2.0)
+    rec.record("job_done", key=(0, 1), worker="A", attempt=1, t=3.0)
+    rec.record("job_start", key=(2, 0), worker="A", attempt=1, t=4.0)
+    rec.record("job_done", key=(1, 0), worker="B", attempt=1, t=6.0)
+    rec.record("job_done", key=(2, 0), worker="A", attempt=1, t=9.0)
+    return rec
+
+
+class TestJobAssembly:
+    def test_every_done_becomes_a_span(self):
+        analysis = TraceAnalysis(build_two_worker_timeline().events())
+        assert len(analysis.jobs) == 3
+        assert {j.key for j in analysis.jobs} == {(0, 1), (1, 0), (2, 0)}
+
+    def test_queue_wait_and_compute(self):
+        analysis = TraceAnalysis(build_two_worker_timeline().events())
+        by_key = {j.key: j for j in analysis.jobs}
+        assert by_key[(0, 1)].queue_wait_seconds == pytest.approx(1.0)
+        assert by_key[(0, 1)].compute_seconds == pytest.approx(2.0)
+        assert by_key[(2, 0)].queue_wait_seconds == pytest.approx(4.0)
+        assert by_key[(2, 0)].compute_seconds == pytest.approx(5.0)
+
+    def test_totals(self):
+        analysis = TraceAnalysis(build_two_worker_timeline().events())
+        assert analysis.total_compute_seconds == pytest.approx(2 + 4 + 5)
+        assert analysis.total_queue_wait_seconds == pytest.approx(1 + 2 + 4)
+
+
+class TestUtilization:
+    def test_per_worker_busy_fraction(self):
+        analysis = TraceAnalysis(build_two_worker_timeline().events())
+        util = analysis.worker_utilization()
+        # window is t=0..9
+        assert util["A"] == pytest.approx(7.0 / 9.0)
+        assert util["B"] == pytest.approx(4.0 / 9.0)
+
+    def test_serial_worker_utilization_at_most_one(self):
+        analysis = TraceAnalysis(build_two_worker_timeline().events())
+        for frac in analysis.worker_utilization().values():
+            assert 0.0 <= frac <= 1.0
+
+    def test_empty_trace(self):
+        analysis = TraceAnalysis([])
+        assert analysis.worker_utilization() == {}
+        assert analysis.mean_utilization == 0.0
+        assert analysis.critical_path() == []
+        assert analysis.critical_path_seconds == 0.0
+
+
+class TestCriticalPath:
+    def test_chain_is_last_finishing_workers_jobs(self):
+        analysis = TraceAnalysis(build_two_worker_timeline().events())
+        chain = analysis.critical_path()
+        assert [j.key for j in chain] == [(0, 1), (2, 0)]
+
+    def test_length_spans_first_submit_to_last_done(self):
+        analysis = TraceAnalysis(build_two_worker_timeline().events())
+        assert analysis.critical_path_seconds == pytest.approx(9.0)
+
+
+class TestRecovery:
+    @staticmethod
+    def _faulted_timeline() -> TraceRecorder:
+        rec = TraceRecorder(clock=FakeClock(0.0))
+        rec.record("job_submit", key=(1, 1), attempt=1, t=0.0)
+        rec.record(
+            "fault", key=(1, 1), attempt=1, t=2.0,
+            fault_kind="crash", action="retry", detected_by="liveness",
+            seconds_lost=2.0,
+        )
+        rec.record("retry", key=(1, 1), attempt=2, t=2.0)
+        rec.record("job_submit", key=(1, 1), attempt=2, t=2.0)
+        rec.record("job_start", key=(1, 1), worker="A", attempt=2, t=2.5)
+        rec.record("job_done", key=(1, 1), worker="A", attempt=2, t=4.0)
+        return rec
+
+    def test_counters(self):
+        analysis = TraceAnalysis(self._faulted_timeline().events())
+        assert analysis.n_faults == 1
+        assert analysis.n_retries == 1
+        assert analysis.n_respawns == 0
+        assert analysis.n_fallbacks == 0
+
+    def test_recovered_keys_require_completion(self):
+        analysis = TraceAnalysis(self._faulted_timeline().events())
+        assert analysis.recovered_keys == {(1, 1)}
+
+    def test_overhead_is_lost_plus_replayed(self):
+        analysis = TraceAnalysis(self._faulted_timeline().events())
+        assert analysis.fault_seconds_lost == pytest.approx(2.0)
+        assert analysis.replay_compute_seconds == pytest.approx(1.5)
+        assert analysis.recovery_overhead_seconds == pytest.approx(3.5)
+
+    def test_fallback_counts_as_replay(self):
+        rec = TraceRecorder(clock=FakeClock(0.0))
+        rec.record("fallback", key=(2, 2), attempt=1, t=1.0)
+        rec.record("job_start", key=(2, 2), attempt=2, t=1.0)
+        rec.record("job_done", key=(2, 2), attempt=2, t=3.0, fallback=True)
+        analysis = TraceAnalysis(rec.events())
+        assert analysis.n_fallbacks == 1
+        assert analysis.replay_compute_seconds == pytest.approx(2.0)
+
+
+class TestSpanNesting:
+    def test_well_nested_spans_accepted(self):
+        rec = TraceRecorder(clock=FakeClock(0.0))
+        with rec.span("outer"):
+            with rec.span("inner"):
+                pass
+        spans = TraceAnalysis(rec.events()).check_span_nesting()
+        assert [name for name, _, _ in spans] == ["inner", "outer"]
+
+    def test_unclosed_span_rejected(self):
+        rec = TraceRecorder(clock=FakeClock(0.0))
+        rec.record("span_begin", span="fanout", span_id=1)
+        with pytest.raises(SpanNestingError, match="unclosed"):
+            TraceAnalysis(rec.events()).check_span_nesting()
+
+    def test_stray_end_rejected(self):
+        rec = TraceRecorder(clock=FakeClock(0.0))
+        rec.record("span_end", span="fanout", span_id=1)
+        with pytest.raises(SpanNestingError, match="without a begin"):
+            TraceAnalysis(rec.events()).check_span_nesting()
+
+    def test_interleaved_spans_rejected(self):
+        rec = TraceRecorder(clock=FakeClock(0.0))
+        rec.record("span_begin", span="a", span_id=1)
+        rec.record("span_begin", span="b", span_id=2)
+        rec.record("span_end", span="a", span_id=1)
+        rec.record("span_end", span="b", span_id=2)
+        with pytest.raises(SpanNestingError, match="interleaved"):
+            TraceAnalysis(rec.events()).check_span_nesting()
+
+
+class TestReport:
+    def test_report_mentions_key_metrics(self):
+        analysis = TraceAnalysis(build_two_worker_timeline().events())
+        text = "\n".join(analysis.report_lines())
+        assert "utilization" in text
+        assert "critical path" in text
+        assert "queue wait" in text
+
+    def test_report_omits_recovery_when_fault_free(self):
+        analysis = TraceAnalysis(build_two_worker_timeline().events())
+        assert not any("recovery" in l for l in analysis.report_lines())

@@ -1,0 +1,99 @@
+"""Exporters: JSONL round-trip fidelity and the Chrome trace format."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.trace import (
+    TraceAnalysis,
+    TraceRecorder,
+    read_jsonl,
+    write_chrome_trace,
+    write_jsonl,
+)
+
+from .test_analysis import build_two_worker_timeline
+
+
+class TestJsonlRoundTrip:
+    def test_events_survive_round_trip(self, tmp_path):
+        rec = build_two_worker_timeline()
+        path = tmp_path / "run.jsonl"
+        count = write_jsonl(rec.events(), path)
+        assert count == len(rec)
+        assert read_jsonl(path) == rec.events()
+
+    def test_analysis_identical_after_round_trip(self, tmp_path):
+        rec = build_two_worker_timeline()
+        path = tmp_path / "run.jsonl"
+        write_jsonl(rec.events(), path)
+        direct = TraceAnalysis(rec.events())
+        reloaded = TraceAnalysis(read_jsonl(path))
+        assert reloaded.worker_utilization() == direct.worker_utilization()
+        assert reloaded.critical_path_seconds == direct.critical_path_seconds
+        assert (
+            reloaded.total_queue_wait_seconds == direct.total_queue_wait_seconds
+        )
+
+    def test_blank_lines_skipped(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        path.write_text('{"t": 1.0, "kind": "rendezvous"}\n\n\n')
+        assert len(read_jsonl(path)) == 1
+
+    def test_bad_line_reported_with_location(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"t": 1.0, "kind": "rendezvous"}\nnot json\n')
+        with pytest.raises(ValueError, match=r"bad\.jsonl:2"):
+            read_jsonl(path)
+
+    def test_missing_fields_reported(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"seq": 1}\n')
+        with pytest.raises(ValueError, match="not a trace event"):
+            read_jsonl(path)
+
+
+class TestChromeTrace:
+    def test_jobs_become_duration_events(self, tmp_path):
+        rec = build_two_worker_timeline()
+        path = tmp_path / "chrome.json"
+        write_chrome_trace(rec.events(), path)
+        payload = json.loads(path.read_text())
+        jobs = [e for e in payload["traceEvents"] if e.get("cat") == "job"]
+        assert len(jobs) == 3
+        assert all(e["ph"] == "X" for e in jobs)
+        assert all(e["dur"] >= 0 for e in jobs)
+
+    def test_one_lane_per_worker_with_names(self, tmp_path):
+        rec = build_two_worker_timeline()
+        path = tmp_path / "chrome.json"
+        write_chrome_trace(rec.events(), path)
+        payload = json.loads(path.read_text())
+        names = {
+            e["args"]["name"]
+            for e in payload["traceEvents"]
+            if e["ph"] == "M"
+        }
+        assert {"worker A", "worker B", "master"} <= names
+
+    def test_timestamps_relative_to_origin(self, tmp_path):
+        rec = build_two_worker_timeline()
+        path = tmp_path / "chrome.json"
+        write_chrome_trace(rec.events(), path)
+        payload = json.loads(path.read_text())
+        stamps = [
+            e["ts"] for e in payload["traceEvents"] if e["ph"] in ("X", "i")
+        ]
+        assert min(stamps) >= 0.0
+
+    def test_instants_included(self, tmp_path):
+        rec = TraceRecorder()
+        rec.record("worker_spawn", worker=1, t=0.0)
+        rec.record("retry", key=(1, 1), attempt=2, t=1.0)
+        path = tmp_path / "chrome.json"
+        write_chrome_trace(rec.events(), path)
+        payload = json.loads(path.read_text())
+        cats = {e["cat"] for e in payload["traceEvents"] if e["ph"] == "i"}
+        assert cats == {"worker_spawn", "retry"}

@@ -1,0 +1,210 @@
+"""TraceRecorder: clock injection, the global hook, spans, fault lift."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.resilience import FaultEvent
+from repro.trace import (
+    TraceEvent,
+    TraceRecorder,
+    current_recorder,
+    emit,
+    install_recorder,
+    recording,
+    trace_span,
+    uninstall_recorder,
+)
+
+
+class FakeClock:
+    """A controllable monotonic clock for exactly-known timelines."""
+
+    def __init__(self, start: float = 100.0) -> None:
+        self.now = start
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+class TestRecording:
+    def test_events_timestamped_by_injected_clock(self):
+        clock = FakeClock()
+        rec = TraceRecorder(clock=clock)
+        rec.record("job_submit", key=(1, 2), attempt=1)
+        clock.advance(2.5)
+        rec.record("job_done", key=(1, 2), attempt=1)
+        a, b = rec.events()
+        assert a.t == 100.0
+        assert b.t == 102.5
+
+    def test_explicit_timestamp_overrides_clock(self):
+        rec = TraceRecorder(clock=FakeClock())
+        event = rec.record("job_start", key=(0, 1), t=42.0)
+        assert event.t == 42.0
+
+    def test_seq_is_monotone_and_unique(self):
+        rec = TraceRecorder(clock=FakeClock())
+        for _ in range(5):
+            rec.record("manifold_event")
+        seqs = [e.seq for e in rec.events()]
+        assert seqs == sorted(seqs)
+        assert len(set(seqs)) == 5
+
+    def test_extra_kwargs_land_in_data(self):
+        rec = TraceRecorder(clock=FakeClock())
+        event = rec.record("job_done", key=(1, 1), wall_seconds=0.25)
+        assert event.data == {"wall_seconds": 0.25}
+
+    def test_len_counts_events(self):
+        rec = TraceRecorder(clock=FakeClock())
+        assert len(rec) == 0
+        rec.record("worker_spawn", worker=123)
+        assert len(rec) == 1
+
+    def test_thread_safe_recording(self):
+        rec = TraceRecorder(clock=FakeClock())
+
+        def hammer():
+            for _ in range(200):
+                rec.record("manifold_event")
+
+        threads = [threading.Thread(target=hammer) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        events = rec.events()
+        assert len(events) == 800
+        assert len({e.seq for e in events}) == 800
+
+
+class TestFaultLift:
+    def test_fault_event_lifts_into_trace(self):
+        rec = TraceRecorder(clock=FakeClock())
+        fault = FaultEvent(
+            key=(2, 3),
+            kind="crash",
+            attempt=1,
+            action="retry",
+            detected_by="liveness",
+            error="worker pid 7 died",
+            seconds_lost=0.5,
+        )
+        event = rec.record_fault(fault)
+        assert event.kind == "fault"
+        assert event.key == (2, 3)
+        assert event.attempt == 1
+        assert event.data["fault_kind"] == "crash"
+        assert event.data["action"] == "retry"
+        assert event.data["detected_by"] == "liveness"
+        assert event.data["seconds_lost"] == 0.5
+
+
+class TestSpans:
+    def test_span_emits_matched_pair(self):
+        rec = TraceRecorder(clock=FakeClock())
+        with rec.span("fanout"):
+            rec.record("job_submit", key=(0, 1))
+        begin, _, end = rec.events()
+        assert begin.kind == "span_begin" and end.kind == "span_end"
+        assert begin.data["span"] == end.data["span"] == "fanout"
+        assert begin.data["span_id"] == end.data["span_id"]
+
+    def test_nested_spans_get_distinct_ids(self):
+        rec = TraceRecorder(clock=FakeClock())
+        with rec.span("outer"):
+            with rec.span("inner"):
+                pass
+        ids = {e.data["span_id"] for e in rec.events()}
+        assert len(ids) == 2
+
+    def test_span_closes_on_exception(self):
+        rec = TraceRecorder(clock=FakeClock())
+        with pytest.raises(RuntimeError):
+            with rec.span("doomed"):
+                raise RuntimeError("boom")
+        assert [e.kind for e in rec.events()] == ["span_begin", "span_end"]
+
+
+class TestGlobalHook:
+    def test_emit_is_noop_without_recorder(self):
+        uninstall_recorder()
+        emit("worker_spawn", worker=1)  # must not raise
+        assert current_recorder() is None
+
+    def test_install_and_uninstall(self):
+        rec = TraceRecorder(clock=FakeClock())
+        install_recorder(rec)
+        try:
+            assert current_recorder() is rec
+            emit("worker_spawn", worker=9)
+            assert len(rec) == 1
+        finally:
+            uninstall_recorder(rec)
+        assert current_recorder() is None
+
+    def test_uninstall_other_recorder_is_noop(self):
+        a = TraceRecorder(clock=FakeClock())
+        b = TraceRecorder(clock=FakeClock())
+        install_recorder(a)
+        try:
+            uninstall_recorder(b)
+            assert current_recorder() is a
+        finally:
+            uninstall_recorder(a)
+
+    def test_recording_context_restores_previous(self):
+        outer = TraceRecorder(clock=FakeClock())
+        inner = TraceRecorder(clock=FakeClock())
+        install_recorder(outer)
+        try:
+            with recording(inner):
+                emit("rendezvous")
+            emit("rendezvous")
+        finally:
+            uninstall_recorder(outer)
+        assert len(inner) == 1
+        assert len(outer) == 1
+
+    def test_recording_none_is_noop(self):
+        uninstall_recorder()
+        with recording(None):
+            assert current_recorder() is None
+
+    def test_trace_span_noop_when_off(self):
+        uninstall_recorder()
+        with trace_span("anything"):
+            pass  # must not raise
+
+    def test_trace_span_records_when_on(self):
+        rec = TraceRecorder(clock=FakeClock())
+        with recording(rec):
+            with trace_span("fanout"):
+                pass
+        assert [e.kind for e in rec.events()] == ["span_begin", "span_end"]
+
+
+class TestEventDicts:
+    def test_round_trip_preserves_fields(self):
+        event = TraceEvent(
+            seq=3, t=1.5, kind="job_done", key=(2, 1), worker=77,
+            attempt=2, data={"wall_seconds": 0.1},
+        )
+        back = TraceEvent.from_dict(event.to_dict())
+        assert back == event
+
+    def test_key_round_trips_as_tuple(self):
+        event = TraceEvent(seq=1, t=0.0, kind="job_start", key=(4, 5))
+        assert TraceEvent.from_dict(event.to_dict()).key == (4, 5)
+
+    def test_minimal_event_round_trips(self):
+        event = TraceEvent(seq=1, t=0.25, kind="rendezvous")
+        back = TraceEvent.from_dict(event.to_dict())
+        assert back.key is None and back.worker is None
+        assert back.attempt == 0 and back.data == {}
