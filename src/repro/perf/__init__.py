@@ -10,11 +10,26 @@
   concurrency overhead, coordination-layer overhead);
 * :mod:`warmpath` — warm-path observability: operator/factorization
   cache effectiveness, cold-vs-warm pool timings, and the
-  dispatch-order makespan metric.
+  dispatch-order makespan metric;
+* :mod:`dataplane` — the zero-copy shared-memory data plane: pooled
+  arena of ``multiprocessing.shared_memory`` blocks with
+  generation-tagged leases, so workers write result arrays in place and
+  the master attaches without a copy.
 """
 
 from .bridge import costs_from_run, records_from_run, replay_on_cluster
 from .costmodel import CalibrationError, CostModel, CostRecord, measure_costs
+from .dataplane import (
+    DATA_PLANES,
+    DataPlane,
+    DataPlaneAudit,
+    DataPlaneError,
+    ShmDescriptor,
+    ShmLease,
+    StaleLeaseError,
+    payload_nbytes,
+    write_through_lease,
+)
 from .metrics import RunStatistics, speedup, summarize_runs
 from .overhead import OverheadReport, decompose_run
 from .timing import TimingResult, time_callable
@@ -31,15 +46,23 @@ __all__ = [
     "CalibrationError",
     "CostModel",
     "CostRecord",
+    "DATA_PLANES",
+    "DataPlane",
+    "DataPlaneAudit",
+    "DataPlaneError",
     "DispatchMakespan",
     "OverheadReport",
     "RunStatistics",
+    "ShmDescriptor",
+    "ShmLease",
+    "StaleLeaseError",
     "TimingResult",
     "WarmPathReport",
     "costs_from_run",
     "decompose_run",
     "dispatch_makespan",
     "measure_costs",
+    "payload_nbytes",
     "records_from_run",
     "replay_on_cluster",
     "simulate_makespan",

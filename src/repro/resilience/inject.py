@@ -214,18 +214,22 @@ class FaultPlan:
 def resilient_entry(item: tuple):
     """Run one job under fault injection, emitting heartbeats.
 
-    ``item`` is ``(spec, plan, attempt, use_cache)``; top-level so
-    multiprocessing pickles it by reference.  Heartbeats — ``(phase,
-    (l, m), attempt, pid)`` tuples on the pool's inherited queue — tell
-    the master *which worker process* holds *which job*, so a process
-    liveness check can attribute an OS-level death to the exact lost
-    job instead of waiting out its deadline.
+    ``item`` is ``(spec, plan, attempt, use_cache)``, optionally
+    extended with a fifth element — the job's shared-memory
+    :class:`~repro.perf.dataplane.ShmLease` — when the run uses the
+    zero-copy data plane; top-level so multiprocessing pickles it by
+    reference.  Heartbeats — ``(phase, (l, m), attempt, pid)`` tuples on
+    the pool's inherited queue — tell the master *which worker process*
+    holds *which job*, so a process liveness check can attribute an
+    OS-level death to the exact lost job instead of waiting out its
+    deadline.
     """
-    spec, plan, attempt, use_cache = item
+    spec, plan, attempt, use_cache = item[:4]
+    lease = item[4] if len(item) > 4 else None
     # local imports: this module must stay importable (and picklable by
     # reference) without dragging the execution layer in at import time
     from repro.restructured import pool as pool_mod
-    from repro.restructured.worker import execute_job
+    from repro.restructured.worker import execute_job, ship_payload
 
     heartbeats = pool_mod.child_heartbeat_queue()
     key = (spec.l, spec.m)
@@ -250,6 +254,10 @@ def resilient_entry(item: tuple):
     if action is not None and action.kind == "slow":
         # emulate a slow host: stretch the job to factor x its own time
         time.sleep((action.factor - 1.0) * (time.perf_counter() - started))
+    # ship through the shm lease *after* the injected compute faults, so
+    # a crashed or hung attempt never half-writes its block: a lease is
+    # either carrying a complete checksummed payload or reclaimed whole
+    payload = ship_payload(payload, lease)
     if heartbeats is not None:
         heartbeats.put(("done", key, attempt, pid))
     return payload

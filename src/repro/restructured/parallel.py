@@ -54,6 +54,7 @@ from __future__ import annotations
 
 import multiprocessing
 import time
+from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Optional, Union
 
@@ -69,6 +70,7 @@ from .worker import (
     SubsolvePayload,
     execute_job,
     execute_job_uncached,
+    shm_entry,
 )
 
 __all__ = [
@@ -79,6 +81,11 @@ __all__ = [
 ]
 
 DISPATCH_POLICIES = ("longest-first", "static")
+
+#: result transports: ``pickle`` is the seed channel (serialize → pipe →
+#: deserialize per payload, barriered combine); ``shm`` is the zero-copy
+#: data plane of :mod:`repro.perf.dataplane` with streaming combination
+DATA_PLANES = ("pickle", "shm")
 
 
 def _trace_payload(trace, payload, *, attempt: int = 1, fallback: bool = False) -> None:
@@ -186,6 +193,40 @@ class MultiprocessingResult:
     recovered_keys: tuple[tuple[int, int], ...] = ()
     fallback_keys: tuple[tuple[int, int], ...] = ()
 
+    # ------------------------------------------------------------------
+    # data plane (the shm transport + streaming combination fill these
+    # in; a pickle run reports every payload on the pickle channel)
+    # ------------------------------------------------------------------
+    #: result transport of this run ("pickle" or "shm")
+    data_plane: str = "pickle"
+    #: combination was fed per-arrival instead of after the barrier
+    streaming: bool = False
+    #: payloads whose solution traveled through a shared-memory lease
+    shm_payloads: int = 0
+    #: payloads that fell back to the pickle channel on an shm run
+    shm_fallbacks: int = 0
+    #: solution bytes that crossed each transport
+    transport_shm_bytes: int = 0
+    transport_pickle_bytes: int = 0
+    #: worker-side seconds writing + checksumming shm payloads
+    shm_write_seconds: float = 0.0
+    #: master-side seconds verifying + attaching descriptors
+    attach_seconds: float = 0.0
+    #: master-side seconds resampling/folding grids into the target
+    combine_seconds: float = 0.0
+    #: the subset of ``combine_seconds`` spent while subsolves were
+    #: still outstanding — work the barriered path serializes
+    combine_overlap_seconds: float = 0.0
+    #: the :class:`~repro.perf.dataplane.DataPlaneAudit` of the run
+    data_plane_audit: Optional[object] = None
+
+    @property
+    def overlap_ratio(self) -> float:
+        """Fraction of combination time hidden behind the fan-out."""
+        if self.combine_seconds <= 0.0:
+            return 0.0
+        return self.combine_overlap_seconds / self.combine_seconds
+
     @property
     def fault_report(self):
         """The run's failure history as a structured report."""
@@ -230,6 +271,119 @@ class MultiprocessingResult:
 
 
 # ----------------------------------------------------------------------
+# the streaming fan-in
+# ----------------------------------------------------------------------
+@contextmanager
+def _plane_guard(plane):
+    """Close the data plane on every exit path; yields a dict that holds
+    the :class:`~repro.perf.dataplane.DataPlaneAudit` after unwinding."""
+    holder: dict = {}
+    try:
+        yield holder
+    finally:
+        if plane is not None:
+            holder["audit"] = plane.close()
+
+
+class _PayloadSink:
+    """Consumes payloads as they land: descriptor resolution + streaming
+    combination + the transport-vs-compute accounting.
+
+    One sink per shm run.  ``consume`` resolves a descriptor-carrying
+    payload into a zero-copy view (:meth:`DataPlane.attach` verifies
+    generation and checksum first), feeds the grid to the streaming
+    combiner, then returns the segment to the arena — so a block is
+    reusable the moment its grid has been resampled.  Combine time
+    accrued while other subsolves were still outstanding is the overlap
+    the barriered path cannot have.
+    """
+
+    def __init__(
+        self, plane, combiner, *, n_expected: int, streaming: bool, trace=None
+    ) -> None:
+        self.plane = plane
+        self.combiner = combiner
+        self.n_expected = n_expected
+        self.streaming = streaming
+        self.trace = trace
+        self.arrived = 0
+        self.shm_payloads = 0
+        self.shm_fallbacks = 0
+        self.transport_shm_bytes = 0
+        self.transport_pickle_bytes = 0
+        self.attach_seconds = 0.0
+        self.combine_seconds = 0.0
+        self.overlap_seconds = 0.0
+
+    def lease_for(self, spec: SubsolveJobSpec):
+        """A lease sized for the job's full nodal solution."""
+        from repro.perf.dataplane import payload_nbytes
+
+        return self.plane.lease(
+            (spec.l, spec.m), payload_nbytes(spec.grid.n_nodes)
+        )
+
+    def consume(self, key, payload: SubsolvePayload, *, attempt: int = 1) -> None:
+        """Fold one arrived payload into the combined solution.
+
+        Raises :class:`~repro.perf.dataplane.DataPlaneError` (notably
+        its stale-generation subclass) *before* any state changes, so
+        the resilient loop can treat a rejected descriptor like any
+        other fault and re-dispatch the job.
+        """
+        descriptor = payload.descriptor
+        if descriptor is not None:
+            t_attach = time.perf_counter()
+            values = self.plane.attach(descriptor)
+            attach_dt = time.perf_counter() - t_attach
+            self.attach_seconds += attach_dt
+            self.shm_payloads += 1
+            self.transport_shm_bytes += descriptor.payload_bytes
+            if self.trace is not None:
+                self.trace.record(
+                    "payload_shm_write",
+                    key=key,
+                    worker=payload.worker_pid or None,
+                    attempt=attempt,
+                    payload_bytes=descriptor.payload_bytes,
+                    seconds=payload.shm_write_seconds,
+                )
+                self.trace.record(
+                    "payload_attach",
+                    key=key,
+                    attempt=attempt,
+                    payload_bytes=descriptor.payload_bytes,
+                    seconds=attach_dt,
+                )
+        else:
+            values = payload.solution
+            self.shm_fallbacks += 1
+            self.transport_pickle_bytes += int(values.nbytes)
+        self.arrived += 1
+        overlapped = self.streaming and self.arrived < self.n_expected
+        t_combine = time.perf_counter()
+        folded = self.combiner.add(key, values)
+        combine_dt = time.perf_counter() - t_combine
+        self.combine_seconds += combine_dt
+        if overlapped:
+            self.overlap_seconds += combine_dt
+        if self.trace is not None:
+            self.trace.record(
+                "combine_chunk",
+                key=key,
+                seconds=combine_dt,
+                folded=folded,
+                pending=self.n_expected - self.arrived,
+                payload_bytes=int(np.asarray(values).nbytes),
+            )
+        if descriptor is not None:
+            # the combiner copied anything it parked: drop the view and
+            # hand the block back for the next lease
+            del values
+            self.plane.release(descriptor.name)
+
+
+# ----------------------------------------------------------------------
 # the resilient dispatch loop
 # ----------------------------------------------------------------------
 @dataclass
@@ -242,6 +396,7 @@ class _Pending:
     deadline_at: float      # monotonic absolute deadline
     submitted_at: float
     pid: Optional[int] = None  # worker PID, once its heartbeat arrives
+    lease: Optional[object] = None  # the attempt's ShmLease, if any
 
 
 class _PoolLease:
@@ -298,6 +453,7 @@ def _run_resilient(
     fault_log=None,
     poll_interval: float = 0.02,
     trace=None,
+    sink: Optional[_PayloadSink] = None,
 ) -> _ResilientOutcome:
     """Dispatch ``ordered`` with crash/hang/exception recovery.
 
@@ -305,6 +461,13 @@ def _run_resilient(
     simply overwrites nothing (it only ever completes once), so
     recovery is idempotent and the result set is exactly one payload
     per grid, bitwise identical to a fault-free run.
+
+    With a ``sink`` (the shm data plane) every attempt carries a fresh
+    lease, faults reclaim the faulted attempt's segment, a pool respawn
+    bumps the plane's generation — invalidating every outstanding lease
+    of the dead generation — and a descriptor the generation check
+    rejects is escalated like any other fault instead of being
+    attached.
     """
     from repro.resilience import (
         EscalationStep,
@@ -334,8 +497,9 @@ def _run_resilient(
         now = time.monotonic()
         if trace is not None:
             trace.record("job_submit", key=(spec.l, spec.m), attempt=attempt)
+        shm_lease = sink.lease_for(spec) if sink is not None else None
         handle = lease.pool.submit(
-            resilient_entry, (spec, plan, attempt, use_cache)
+            resilient_entry, (spec, plan, attempt, use_cache, shm_lease)
         )
         pending[(spec.l, spec.m)] = _Pending(
             spec=spec,
@@ -343,10 +507,29 @@ def _run_resilient(
             handle=handle,
             deadline_at=now + deadline_policy.deadline_seconds(predicted(spec)),
             submitted_at=now,
+            lease=shm_lease,
         )
 
     def complete(key: tuple[int, int], payload: SubsolvePayload) -> None:
+        from repro.perf.dataplane import DataPlaneError, StaleLeaseError
+
         job = pending[key]
+        if sink is not None:
+            try:
+                sink.consume(key, payload, attempt=job.attempt)
+            except StaleLeaseError as exc:
+                # a descriptor written before a respawn: its block may be
+                # re-leased already, so the result is discarded and the
+                # job escalated (decide() retries unknown kinds)
+                handle_fault(
+                    key, "stale", detected_by="dataplane", error=repr(exc)
+                )
+                return
+            except DataPlaneError as exc:
+                handle_fault(
+                    key, "transport", detected_by="dataplane", error=repr(exc)
+                )
+                return
         was_replay = job.attempt > 1
         del pending[key]
         completed[key] = payload
@@ -371,6 +554,20 @@ def _run_resilient(
             # the dead worker's job never completes; forget its handle
             # so the pool can still be drained gracefully later
             lease.pool.discard(job.handle)
+        if (
+            sink is not None
+            and job.lease is not None
+            and kind not in ("hang", "deadline")
+        ):
+            # the faulted attempt's segment has no live writer (crashed,
+            # raised before writing, or its descriptor was just refused)
+            # — reclaim it for the arena before the retry leases anew.
+            # A hung worker may still write later, so its block is NOT
+            # returned here: the respawn below terminates the generation
+            # and bump_generation reclaims every outstanding lease, and
+            # on the no-respawn path close() reaps it late — never while
+            # a wedged writer could still scribble into a re-leased block
+            sink.plane.revoke(job.lease.name, reason=kind)
         step = escalation.decide(job.attempt, kind)
         event = FaultEvent(
             key=key,
@@ -393,6 +590,11 @@ def _run_resilient(
                 collateral = list(pending.values())
                 pending.clear()
                 lease.respawn()
+                if sink is not None:
+                    # the old generation's workers are dead: reclaim all
+                    # outstanding leases and invalidate their in-flight
+                    # descriptors (attach will refuse them as stale)
+                    sink.plane.bump_generation()
                 if trace is not None:
                     trace.record(
                         "respawn",
@@ -426,6 +628,11 @@ def _run_resilient(
                     )
                 )
                 fail_run(exc)
+            if sink is not None:
+                # in-master payloads carry their array directly; the
+                # sink still folds them so the streaming combiner sees
+                # every grid exactly once
+                sink.consume(key, payload, attempt=job.attempt + 1)
             completed[key] = payload
             completion_order.append(key)
             fallback_keys.append(key)
@@ -534,6 +741,7 @@ def run_multiprocessing(
     fault_seed: int = 0,
     fault_log=None,
     trace=None,
+    data_plane: str = "pickle",
 ) -> MultiprocessingResult:
     """Run the whole application with a process pool over the grids.
 
@@ -554,10 +762,21 @@ def run_multiprocessing(
     structured event timeline: job lifecycle, faults and recovery
     actions, and — because the recorder is installed globally for the
     duration — the pool's worker spawns/deaths too.
+
+    ``data_plane="shm"`` switches the result transport to the zero-copy
+    shared-memory arena of :mod:`repro.perf.dataplane` and the fan-in to
+    streaming: each payload is resampled and folded into the
+    preallocated target the moment it lands, overlapping combination
+    with the remaining subsolves.  ``"pickle"`` (the default) is the
+    barriered seed channel; both are bitwise identical in their output.
     """
     if dispatch not in DISPATCH_POLICIES:
         raise ValueError(
             f"unknown dispatch policy {dispatch!r}; choose from {DISPATCH_POLICIES}"
+        )
+    if data_plane not in DATA_PLANES:
+        raise ValueError(
+            f"unknown data plane {data_plane!r}; choose from {DATA_PLANES}"
         )
     resilient = any(
         option is not None for option in (retry, deadline, escalation, faults)
@@ -612,8 +831,29 @@ def run_multiprocessing(
     respawns = 0
     completion_order: tuple[tuple[int, int], ...]
 
+    plane = None
+    sink: Optional[_PayloadSink] = None
+    if data_plane == "shm":
+        # lazy: repro.perf pulls this module in at package import
+        from repro.perf.dataplane import DataPlane
+        from repro.sparsegrid.combination import combine_incremental
+
+        plane = DataPlane()
+        sink = _PayloadSink(
+            plane,
+            combine_incremental(root, level, target_cap=target_cap),
+            n_expected=len(specs),
+            # map_static barriers on the full batch, so its combine
+            # work cannot overlap the fan-out even on the shm plane
+            streaming=resilient or dispatch != "static",
+            trace=trace,
+        )
+
     t_pool = time.perf_counter()
-    with recording(trace):
+    # contexts unwind inner-first: the plane guard closes (and trace-
+    # emits any late reap) while the recorder is still installed, on
+    # every exit path — success, fault escalation, KeyboardInterrupt
+    with recording(trace), _plane_guard(plane) as plane_audit:
         with trace_span("fanout"):
             if resilient:
                 lease = _PoolLease(n_proc, shared=warm_pool)
@@ -627,6 +867,7 @@ def run_multiprocessing(
                         cost_model=cost_model,
                         fault_log=fault_log,
                         trace=trace,
+                        sink=sink,
                     )
                 finally:
                     lease.release()
@@ -646,7 +887,20 @@ def run_multiprocessing(
                 if trace is not None:
                     for s in ordered:
                         trace.record("job_submit", key=(s.l, s.m), attempt=1)
-                if dispatch == "static":
+                if sink is not None:
+                    items = [
+                        (s, sink.lease_for(s), operator_cache)
+                        for s in ordered
+                    ]
+                    if dispatch == "static":
+                        arrivals = pool.map_static(shm_entry, items)
+                    else:
+                        arrivals = pool.imap_unordered(shm_entry, items)
+                    payload_list = []
+                    for p in arrivals:
+                        sink.consume((p.l, p.m), p)
+                        payload_list.append(p)
+                elif dispatch == "static":
                     payload_list = pool.map_static(job, ordered)
                 else:
                     payload_list = list(pool.imap_unordered(job, ordered))
@@ -664,7 +918,20 @@ def run_multiprocessing(
                     for s in ordered:
                         trace.record("job_submit", key=(s.l, s.m), attempt=1)
                 try:
-                    if dispatch == "static":
+                    if sink is not None:
+                        items = [
+                            (s, sink.lease_for(s), operator_cache)
+                            for s in ordered
+                        ]
+                        if dispatch == "static":
+                            arrivals = fresh.map(shm_entry, items)
+                        else:
+                            arrivals = fresh.imap_unordered(shm_entry, items, 1)
+                        payload_list = []
+                        for p in arrivals:
+                            sink.consume((p.l, p.m), p)
+                            payload_list.append(p)
+                    elif dispatch == "static":
                         payload_list = fresh.map(job, ordered)
                     else:
                         payload_list = list(fresh.imap_unordered(job, ordered, 1))
@@ -677,11 +944,28 @@ def run_multiprocessing(
                 completion_order = tuple((p.l, p.m) for p in payload_list)
         pool_seconds = time.perf_counter() - t_pool
 
-        solutions = {key: p.solution for key, p in payloads.items()}
-        with trace_span("prolongation"):
-            target_grid, combined = combine(
-                solutions, root, level, target_cap=target_cap
-            )
+        t_combine = time.perf_counter()
+        if sink is not None:
+            # streaming already folded every grid; this is the (cheap)
+            # completeness check + hand-over of the preallocated buffer
+            with trace_span("prolongation"):
+                target_grid, combined = sink.combiner.result()
+            combine_seconds = sink.combine_seconds
+        else:
+            solutions = {key: p.solution for key, p in payloads.items()}
+            with trace_span("prolongation"):
+                target_grid, combined = combine(
+                    solutions, root, level, target_cap=target_cap
+                )
+            combine_seconds = time.perf_counter() - t_combine
+
+    data_plane_audit = plane_audit.get("audit")
+    if sink is not None:
+        transport_pickle_bytes = sink.transport_pickle_bytes
+    else:
+        transport_pickle_bytes = sum(
+            int(p.solution.nbytes) for p in payloads.values()
+        )
     return MultiprocessingResult(
         root=root,
         level=level,
@@ -705,4 +989,19 @@ def run_multiprocessing(
         fault_events=events,
         recovered_keys=recovered_keys,
         fallback_keys=fallback_keys,
+        data_plane=data_plane,
+        streaming=sink.streaming if sink is not None else False,
+        shm_payloads=sink.shm_payloads if sink is not None else 0,
+        shm_fallbacks=sink.shm_fallbacks if sink is not None else 0,
+        transport_shm_bytes=sink.transport_shm_bytes if sink is not None else 0,
+        transport_pickle_bytes=transport_pickle_bytes,
+        shm_write_seconds=sum(
+            p.shm_write_seconds for p in payloads.values()
+        ),
+        attach_seconds=sink.attach_seconds if sink is not None else 0.0,
+        combine_seconds=combine_seconds,
+        combine_overlap_seconds=(
+            sink.overlap_seconds if sink is not None else 0.0
+        ),
+        data_plane_audit=data_plane_audit,
     )

@@ -44,9 +44,11 @@ report cold-vs-warm pool timings.
 from __future__ import annotations
 
 import atexit
+import itertools
 import multiprocessing
 import threading
 import time
+from multiprocessing import resource_tracker
 from typing import Any, Callable, Iterable, Optional
 
 from repro.trace.recorder import emit as trace_emit
@@ -86,6 +88,13 @@ def child_heartbeat_queue():
     return _child_heartbeats
 
 
+#: monotonically increasing id across every pool this process forks;
+#: respawned generations get fresh ids, which is what the data plane's
+#: generation-tagged leases key off (a descriptor written by an old
+#: generation's worker must never be attached after a respawn)
+_pool_generations = itertools.count(1)
+
+
 class PersistentWorkerPool:
     """A fork pool that outlives individual job batches."""
 
@@ -95,7 +104,13 @@ class PersistentWorkerPool:
             raise ValueError(f"processes must be >= 1, got {processes}")
         started = time.perf_counter()
         self.processes = processes
+        self.generation = next(_pool_generations)
         self._lock = threading.RLock()
+        # start the resource tracker before forking so children inherit
+        # it: shared-memory attaches in workers then re-register into
+        # the master's tracker (a set no-op) instead of spawning per-
+        # child trackers that would report phantom leaks at exit
+        resource_tracker.ensure_running()
         context = multiprocessing.get_context("fork")
         # created before the fork so pool children inherit it; workers
         # report ("phase", (l, m), attempt, pid) tuples here
@@ -107,7 +122,12 @@ class PersistentWorkerPool:
         }
         self.cold_start_seconds = time.perf_counter() - started
         for pid in sorted(self._known_pids):
-            trace_emit("worker_spawn", worker=pid, processes=processes)
+            trace_emit(
+                "worker_spawn",
+                worker=pid,
+                processes=processes,
+                generation=self.generation,
+            )
         self.jobs_dispatched = 0
         self.batches_dispatched = 0
         self.closed = False
@@ -327,6 +347,7 @@ def pool_diagnostics() -> dict[str, float]:
     return {
         "alive": _shared is not None and not _shared.closed,
         "processes": _shared.processes if _shared is not None else 0,
+        "generation": _shared.generation if _shared is not None else 0,
         "cold_starts": _cold_starts,
         "warm_acquisitions": _warm_acquisitions,
         "respawns": _respawns,

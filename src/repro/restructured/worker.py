@@ -22,7 +22,7 @@ from __future__ import annotations
 import multiprocessing
 import os
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Optional
 
 import numpy as np
@@ -40,6 +40,8 @@ __all__ = [
     "SubsolvePayload",
     "execute_job",
     "execute_job_uncached",
+    "ship_payload",
+    "shm_entry",
     "ComputeEngine",
     "InlineEngine",
     "ProcessPoolEngine",
@@ -117,6 +119,16 @@ class SubsolvePayload:
     #: ``time.monotonic()`` just before / after the computation
     started_monotonic: float = 0.0
     finished_monotonic: float = 0.0
+    # ------------------------------------------------------------------
+    # zero-copy data plane: when the solution traveled through a shared
+    # memory lease, ``descriptor`` names the segment and ``solution`` is
+    # an empty placeholder — the master resolves it via
+    # ``DataPlane.attach`` without a copy
+    # ------------------------------------------------------------------
+    #: the :class:`~repro.perf.dataplane.ShmDescriptor`, if any
+    descriptor: Optional[object] = None
+    #: worker-side seconds spent on the shm write + checksum
+    shm_write_seconds: float = 0.0
 
     @property
     def factor_reuse_ratio(self) -> float:
@@ -189,6 +201,50 @@ def execute_job_uncached(spec: SubsolveJobSpec) -> SubsolvePayload:
     Top-level so multiprocessing can pickle it by reference.
     """
     return execute_job(spec, use_cache=False)
+
+
+#: placeholder solution of a payload whose data went through shm
+_SHIPPED = np.empty((0, 0))
+
+
+def ship_payload(payload: SubsolvePayload, lease) -> SubsolvePayload:
+    """Move the payload's solution into its shared-memory lease.
+
+    On success the returned payload carries only the descriptor — the
+    array itself never enters the pickle channel.  When the write is
+    impossible (``lease`` is ``None``, the array outgrew its block, the
+    segment vanished with a closed plane) the payload is returned
+    untouched and travels by pickle: the per-payload fallback that keeps
+    every run correct whatever happens to the transport.
+    """
+    if lease is None:
+        return payload
+    # lazy: repro.perf pulls in the execution layer at package import
+    from repro.perf.dataplane import write_through_lease
+
+    t_write = time.perf_counter()
+    descriptor = write_through_lease(lease, payload.solution)
+    if descriptor is None:
+        return payload
+    return replace(
+        payload,
+        solution=_SHIPPED,
+        descriptor=descriptor,
+        shm_write_seconds=time.perf_counter() - t_write,
+    )
+
+
+def shm_entry(item: tuple) -> SubsolvePayload:
+    """Pool entry point for the shm data plane (no fault machinery).
+
+    ``item`` is ``(spec, lease, use_cache)``; top-level so
+    multiprocessing pickles it by reference.  The resilient dispatch
+    loop has its own entry point
+    (:func:`repro.resilience.inject.resilient_entry`), which ships
+    through the lease the same way.
+    """
+    spec, lease, use_cache = item
+    return ship_payload(execute_job(spec, use_cache=use_cache), lease)
 
 
 class ComputeEngine:

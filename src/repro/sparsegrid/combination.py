@@ -34,6 +34,8 @@ __all__ = [
     "resample_2d",
     "combination_coefficients",
     "combine",
+    "IncrementalCombiner",
+    "combine_incremental",
 ]
 
 
@@ -96,6 +98,122 @@ def combination_coefficients(level: int) -> dict[int, int]:
     return coefficients
 
 
+class IncrementalCombiner:
+    """Streaming combination with a deterministic accumulation order.
+
+    Solutions may be fed in *any* arrival order (this is what lets the
+    master overlap combination with outstanding subsolves): each
+    :meth:`add` resamples the grid onto the preallocated target buffer's
+    geometry immediately — the expensive part — and the cheap in-place
+    accumulation is *folded* strictly in the nested-loop order of
+    :func:`combination_grids`.  Out-of-order arrivals are parked
+    (already resampled) until their turn.  Because the fold order is
+    fixed and every fold is an in-place ``np.add``/``np.subtract`` into
+    the single accumulation buffer, the result is bitwise identical to
+    the batch :func:`combine` regardless of arrival order — IEEE
+    addition is not associative, so order discipline, not tolerance, is
+    what preserves the paper's exact-equality claim.
+    """
+
+    def __init__(
+        self, root: int, level: int, target_cap: int | None = None
+    ) -> None:
+        target_level = level if target_cap is None else min(level, target_cap)
+        self.level = level
+        self.target = Grid(root, target_level, target_level)
+        #: the preallocated accumulation buffer — every fold lands here
+        #: in place; no per-grid temporaries are materialized
+        self.combined = np.zeros(self.target.shape)
+        self._grids: dict[tuple[int, int], Grid] = {}
+        self._coefficients: dict[tuple[int, int], int] = {}
+        self._sequence: list[tuple[int, int]] = []
+        for grid, coefficient in combination_grids(root, level):
+            key = (grid.l, grid.m)
+            self._grids[key] = grid
+            self._coefficients[key] = coefficient
+            self._sequence.append(key)
+        self._parked: dict[tuple[int, int], np.ndarray] = {}
+        self._added: set[tuple[int, int]] = set()
+        self._next = 0
+
+    # ------------------------------------------------------------------
+    # feeding
+    # ------------------------------------------------------------------
+    def expected_keys(self) -> list[tuple[int, int]]:
+        """Every grid of the formula, in fold (nested-loop) order."""
+        return list(self._sequence)
+
+    @property
+    def remaining(self) -> list[tuple[int, int]]:
+        """Keys not yet fed, in fold order."""
+        return [k for k in self._sequence if k not in self._added]
+
+    @property
+    def complete(self) -> bool:
+        return self._next == len(self._sequence)
+
+    def add(self, key: tuple[int, int], values: np.ndarray) -> int:
+        """Feed one grid's solution; returns how many grids folded.
+
+        ``values`` may be a view into a caller-owned buffer (e.g. a
+        shared-memory segment): anything parked for a later fold is
+        copied, so the buffer can be reclaimed as soon as ``add``
+        returns.
+        """
+        key = tuple(key)
+        grid = self._grids.get(key)
+        if grid is None:
+            raise KeyError(
+                f"grid {key} is not part of the level-{self.level} "
+                "combination formula"
+            )
+        if key in self._added:
+            raise ValueError(f"grid {key} was already added")
+        resampled = resample_2d(values, grid, self.target)
+        if np.shares_memory(resampled, values):
+            # pure-subsample (or identity) resampling returns a view of
+            # the input; park a copy so the caller may free its buffer
+            resampled = np.array(resampled, dtype=float)
+        self._parked[key] = resampled
+        self._added.add(key)
+        return self._fold()
+
+    def _fold(self) -> int:
+        folded = 0
+        while self._next < len(self._sequence):
+            key = self._sequence[self._next]
+            values = self._parked.pop(key, None)
+            if values is None:
+                break
+            # in place into the preallocated buffer; ``a - b`` is IEEE
+            # ``a + (-b)`` exactly, so +=/-= of the ±1 coefficients is
+            # reproduced bit for bit without the scaled temporary
+            if self._coefficients[key] == 1:
+                np.add(self.combined, values, out=self.combined)
+            else:
+                np.subtract(self.combined, values, out=self.combined)
+            self._next += 1
+            folded += 1
+        return folded
+
+    def result(self) -> tuple[Grid, np.ndarray]:
+        """The target grid and combined solution; every grid required."""
+        if not self.complete:
+            missing = self.remaining[0]
+            raise KeyError(
+                f"missing solution for grid {missing} at level {self.level}"
+            )
+        return self.target, self.combined
+
+
+def combine_incremental(
+    root: int, level: int, target_cap: int | None = None
+) -> IncrementalCombiner:
+    """A streaming combiner for the given run (see
+    :class:`IncrementalCombiner`)."""
+    return IncrementalCombiner(root, level, target_cap=target_cap)
+
+
 def combine(
     solutions: dict[tuple[int, int], np.ndarray],
     root: int,
@@ -107,13 +225,15 @@ def combine(
     ``solutions`` maps ``(l, m)`` to the full nodal solution of that
     grid.  Every grid of both diagonals must be present.  Returns the
     target grid and the combined nodal array on it.
+
+    The accumulation buffer is preallocated and every grid is folded in
+    place (no ``coefficient * resampled`` temporaries); the batch path
+    is the incremental combiner fed in loop order, so the two are
+    bitwise identical by construction.
     """
-    target_level = level if target_cap is None else min(level, target_cap)
-    target = Grid(root, target_level, target_level)
-    combined = np.zeros(target.shape)
-    for grid, coefficient in combination_grids(root, level):
-        key = (grid.l, grid.m)
+    combiner = IncrementalCombiner(root, level, target_cap=target_cap)
+    for key in combiner.expected_keys():
         if key not in solutions:
             raise KeyError(f"missing solution for grid {key} at level {level}")
-        combined += coefficient * resample_2d(solutions[key], grid, target)
-    return target, combined
+        combiner.add(key, solutions[key])
+    return combiner.result()

@@ -20,7 +20,11 @@ timeline:
 * **recovery overhead** — seconds lost to faults (from the lifted
   ``fault`` events) plus the compute spent on replayed attempts and
   fallbacks, which must be consistent with the run's
-  :class:`~repro.resilience.FaultReport`.
+  :class:`~repro.resilience.FaultReport`;
+* **transport vs compute** — when the run used the shared-memory data
+  plane, the ``payload_shm_write``/``payload_attach``/``combine_chunk``
+  events split payload movement (and the streaming combination the
+  master overlapped with it) from the subsolve compute itself.
 """
 
 from __future__ import annotations
@@ -232,6 +236,54 @@ class TraceAnalysis:
         return self.fault_seconds_lost + self.replay_compute_seconds
 
     # ------------------------------------------------------------------
+    # transport vs compute (the zero-copy data plane)
+    # ------------------------------------------------------------------
+    def _data_seconds(self, kind: str) -> float:
+        return sum(
+            float(e.data.get("seconds", 0.0))
+            for e in self.events
+            if e.kind == kind
+        )
+
+    @property
+    def shm_write_seconds(self) -> float:
+        """Worker-side seconds spent copying payloads into shm blocks."""
+        return self._data_seconds("payload_shm_write")
+
+    @property
+    def attach_seconds(self) -> float:
+        """Master-side seconds spent attaching (mapping + verifying)."""
+        return self._data_seconds("payload_attach")
+
+    @property
+    def transport_seconds(self) -> float:
+        """Total payload-movement seconds (shm write + attach)."""
+        return self.shm_write_seconds + self.attach_seconds
+
+    @property
+    def transport_bytes(self) -> int:
+        """Payload bytes moved through the shared-memory data plane."""
+        return sum(
+            int(e.data.get("payload_bytes", 0))
+            for e in self.events
+            if e.kind == "payload_attach"
+        )
+
+    @property
+    def n_shm_payloads(self) -> int:
+        return sum(1 for e in self.events if e.kind == "payload_attach")
+
+    @property
+    def combine_chunk_seconds(self) -> float:
+        """Master-side seconds spent in streaming per-chunk combination."""
+        return self._data_seconds("combine_chunk")
+
+    @property
+    def n_segment_reaps(self) -> int:
+        """Segments reclaimed by the fault ladder or reaped at close."""
+        return sum(1 for e in self.events if e.kind == "segment_reaped")
+
+    # ------------------------------------------------------------------
     # invariants
     # ------------------------------------------------------------------
     def check_span_nesting(self) -> list[tuple[str, float, float]]:
@@ -306,4 +358,18 @@ class TraceAnalysis:
                 f"({self.fault_seconds_lost:.3f}s lost + "
                 f"{self.replay_compute_seconds:.3f}s replayed)"
             )
+        if self.n_shm_payloads:
+            lines.append(
+                f"data plane: {self.n_shm_payloads} shm payloads, "
+                f"{self.transport_bytes} bytes; transport "
+                f"{self.transport_seconds:.3f}s "
+                f"({self.shm_write_seconds:.3f}s write + "
+                f"{self.attach_seconds:.3f}s attach), streaming combine "
+                f"{self.combine_chunk_seconds:.3f}s"
+            )
+            if self.n_segment_reaps:
+                lines.append(
+                    f"  segments reaped by the fault ladder: "
+                    f"{self.n_segment_reaps}"
+                )
         return lines

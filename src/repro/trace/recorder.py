@@ -72,6 +72,11 @@ EVENT_KINDS = (
     # warm-path cache observability
     "cache_hit",
     "cache_miss",
+    # the zero-copy data plane: transport vs compute split
+    "payload_shm_write",
+    "payload_attach",
+    "combine_chunk",
+    "segment_reaped",
     # nested phases
     "span_begin",
     "span_end",
