@@ -1,0 +1,92 @@
+"""The socket engine's coordination tax, priced against the fork pool.
+
+The distributed configuration pays for what the in-process pool gets
+free: daemon spawn (process + import, not just a fork), a framed TCP
+round trip per job, and heartbeat traffic.  This bench measures that
+tax end to end — same problem, same level, ``engine="socket"`` over
+loopback daemons vs the warm fork pool — and itemizes the network side
+from the engine's own accounting (framed bytes, send/recv seconds,
+daemon spawn time).
+
+There is no speedup claim here: on one machine the socket engine is
+strictly overhead, and the point of the measurement is that the
+overhead is (a) bounded and (b) fully accounted for — the wire seconds
+plus spawn cost explain the gap.  Bitwise identity is asserted both
+ways.
+
+Runs in a fast smoke mode inside the tier-1 suite; set
+``REPRO_SOCKET_ENGINE_FULL=1`` for the full measurement.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.restructured import run_multiprocessing, shutdown_pool
+
+ROOT = 2
+
+
+@pytest.mark.benchmark(group="socket-engine")
+def test_socket_engine_vs_fork_pool(benchmark, socket_engine_settings):
+    """Whole runs through each engine, identity asserted."""
+    level = socket_engine_settings["level"]
+    tol = socket_engine_settings["tol"]
+    processes = socket_engine_settings["processes"]
+    rounds = socket_engine_settings["rounds"]
+
+    shutdown_pool()
+    reference = run_multiprocessing(
+        root=ROOT, level=level, tol=tol, processes=processes
+    )
+    pool_samples: list[float] = []
+
+    def timed_pool_run():
+        # per-round setup: interleave the engines so load hits both
+        started = time.perf_counter()
+        result = run_multiprocessing(
+            root=ROOT, level=level, tol=tol, processes=processes
+        )
+        pool_samples.append(time.perf_counter() - started)
+        assert np.array_equal(result.combined, reference.combined)
+
+    result = benchmark.pedantic(
+        lambda: run_multiprocessing(
+            root=ROOT, level=level, tol=tol, processes=processes,
+            engine="socket", hosts=f"localhost:{processes}",
+        ),
+        setup=timed_pool_run,
+        rounds=rounds,
+        iterations=1,
+    )
+    shutdown_pool()
+
+    assert np.array_equal(result.combined, reference.combined)
+    assert result.engine == "socket"
+    assert result.daemons == processes
+    assert result.reconnects == 0
+    assert result.net_bytes_received > result.net_bytes_sent > 0
+
+    pool_seconds = min(pool_samples)
+    socket_seconds = min(benchmark.stats.stats.data)
+    wire_seconds = result.net_send_seconds + result.net_recv_seconds
+    spawn_seconds = result.pool_cold_start_seconds
+    benchmark.extra_info["level"] = level
+    benchmark.extra_info["pool_seconds"] = pool_seconds
+    benchmark.extra_info["socket_seconds"] = socket_seconds
+    benchmark.extra_info["daemon_spawn_seconds"] = spawn_seconds
+    benchmark.extra_info["wire_seconds"] = wire_seconds
+    benchmark.extra_info["framed_bytes"] = (
+        result.net_bytes_sent + result.net_bytes_received
+    )
+    print(f"\nsocket engine at level {level}: pool {pool_seconds:.3f}s vs "
+          f"socket {socket_seconds:.3f}s (daemon spawn {spawn_seconds:.3f}s, "
+          f"wire {wire_seconds * 1e3:.1f} ms, "
+          f"{result.net_bytes_sent + result.net_bytes_received} framed bytes)")
+    # the tax must stay bounded: daemon spawn dominates, the wire is
+    # milliseconds — the socket run may not cost more than the pool run
+    # plus the spawn it visibly paid, with generous headroom for noise
+    assert socket_seconds <= pool_seconds + spawn_seconds + 2.0

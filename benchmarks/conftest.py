@@ -34,6 +34,12 @@ FAULT_RECOVERY_FULL = os.environ.get(
 #: smoke mode to a bigger level and more rounds.
 DATA_PLANE_FULL = os.environ.get("REPRO_DATA_PLANE_FULL", "") not in ("", "0")
 
+#: ``REPRO_SOCKET_ENGINE_FULL=1`` switches bench_socket_engine from the
+#: fast smoke mode to a bigger level and more rounds.
+SOCKET_ENGINE_FULL = os.environ.get(
+    "REPRO_SOCKET_ENGINE_FULL", ""
+) not in ("", "0")
+
 
 @pytest.fixture(scope="session")
 def warm_path_settings() -> dict:
@@ -90,6 +96,23 @@ def data_plane_settings() -> dict:
         "payload_root": 6, "payload_level": 5,
         "run_level": 5, "tol": 1.0e-3,
         "transport_rounds": 10, "run_rounds": 3,
+    }
+
+
+@pytest.fixture(scope="session")
+def socket_engine_settings() -> dict:
+    """Configuration of the socket-engine bench: daemons over loopback
+    TCP against the in-process fork pool at the same level."""
+    if SOCKET_ENGINE_FULL:
+        return {
+            "full": True,
+            "level": 5, "tol": 1.0e-3, "processes": 2,
+            "rounds": 3,
+        }
+    return {
+        "full": False,
+        "level": 3, "tol": 1.0e-3, "processes": 2,
+        "rounds": 2,
     }
 
 

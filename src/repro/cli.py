@@ -106,6 +106,46 @@ def build_parser() -> argparse.ArgumentParser:
                        help="result transport: pickle through the pool's "
                        "result pipe (seed behaviour) or zero-copy "
                        "shared-memory blocks with streaming combination")
+    p_par.add_argument("--engine", choices=("pool", "task", "socket"),
+                       default="pool",
+                       help="execution substrate: the fork pool, "
+                       "per-worker OS task instances, or worker daemons "
+                       "over real TCP (see docs/distributed.md)")
+    p_par.add_argument("--hosts", default=None, metavar="SPEC",
+                       help="socket-engine hosts: 'localhost:N' spawns N "
+                       "loopback daemons; 'tcp://host:port' dials a "
+                       "running 'repro worker-daemon' (comma-separated)")
+
+    p_wd = sub.add_parser(
+        "worker-daemon",
+        help="host task instances behind a TCP port for --engine socket",
+    )
+    p_wd.add_argument("--host", default="127.0.0.1",
+                      help="bind address (default: loopback)")
+    p_wd.add_argument("--port", type=int, default=0,
+                      help="listen port (0 = ephemeral, announced on stdout)")
+    p_wd.add_argument("--capacity", type=int, default=1,
+                      help="concurrent jobs, each in its own OS task "
+                      "instance (the MLINK {load N})")
+    p_wd.add_argument("--heartbeat-interval", type=float, default=0.5,
+                      dest="heartbeat_interval",
+                      help="seconds between heartbeat frames")
+    p_wd.add_argument("--no-perpetual", action="store_true",
+                      help="task instances exit after one job instead of "
+                      "welcoming the next worker")
+
+    p_val = sub.add_parser(
+        "validate-socket",
+        help="run one problem through the cluster simulator and the "
+        "socket engine; report both overhead decompositions",
+    )
+    p_val.add_argument("--root", type=int, default=2)
+    p_val.add_argument("--level", type=int, default=5)
+    p_val.add_argument("--tol", type=float, default=1.0e-3)
+    p_val.add_argument("--problem", default="rotating-cone")
+    p_val.add_argument("--processes", type=int, default=2,
+                       help="local worker daemons to spawn")
+    p_val.add_argument("--seed", type=int, default=20040101)
 
     p_antr = sub.add_parser(
         "analyze-trace",
@@ -295,6 +335,8 @@ def cmd_run_parallel(args) -> int:
             fault_seed=args.fault_seed,
             trace=recorder,
             data_plane=args.data_plane,
+            engine=args.engine,
+            hosts=args.hosts,
         )
         label = "cold" if args.cold else ("warm" if result.warm_pool else "cool")
         print(f"run {run + 1} ({label}): total {result.total_seconds:.3f}s "
@@ -320,6 +362,40 @@ def cmd_run_parallel(args) -> int:
         print(f"bitwise identical to sequential: {identical}")
         return 0 if identical else 1
     return 0
+
+
+def cmd_worker_daemon(args) -> int:
+    from repro.restructured.netengine import WorkerDaemon
+
+    daemon = WorkerDaemon(
+        host=args.host,
+        port=args.port,
+        capacity=args.capacity,
+        perpetual=not args.no_perpetual,
+        heartbeat_interval=args.heartbeat_interval,
+    )
+    daemon.announce()
+    try:
+        daemon.serve_forever()
+    except KeyboardInterrupt:  # pragma: no cover - interactive stop
+        daemon.stop()
+    return 0
+
+
+def cmd_validate_socket(args) -> int:
+    from repro.cluster.validation import validate_socket_engine
+
+    report = validate_socket_engine(
+        root=args.root,
+        level=args.level,
+        tol=args.tol,
+        problem_name=args.problem,
+        processes=args.processes,
+        seed=args.seed,
+    )
+    for line in report.lines():
+        print(line)
+    return 0 if report.bitwise_identical else 1
 
 
 def cmd_analyze_trace(args) -> int:
@@ -455,6 +531,8 @@ _COMMANDS = {
     "run-sequential": cmd_run_sequential,
     "run-concurrent": cmd_run_concurrent,
     "run-parallel": cmd_run_parallel,
+    "worker-daemon": cmd_worker_daemon,
+    "validate-socket": cmd_validate_socket,
     "analyze-trace": cmd_analyze_trace,
     "calibrate": cmd_calibrate,
     "table1": cmd_table1,

@@ -110,6 +110,14 @@ class TaskManager:
         self._instances: list[TaskInstance] = []
         self._by_process: dict[int, tuple[TaskInstance, float]] = {}
         self._timeline: list[TimelinePoint] = []
+        #: callbacks fired (outside the manager lock) whenever a task
+        #: instance dies, through *any* path: the last resident of a
+        #: non-perpetual instance leaving, the perpetual wind-down, or
+        #: an engine killing the instance outright (:meth:`mark_dead`).
+        #: The CONFIG stage subscribes ``HostMapper.free`` here so the
+        #: machine slot is released exactly when the OS-level process
+        #: exits — not only when a resident thread happens to die.
+        self.on_task_death: list[Callable[[TaskInstance], None]] = []
         self._record_timeline_locked()
 
     # ------------------------------------------------------------------
@@ -140,16 +148,24 @@ class TaskManager:
 
     def release(self, proc: ProcessBase) -> Optional[TaskInstance]:
         """Handle a process death; may end its (non-perpetual) task."""
+        died = None
         with self._lock:
             entry = self._by_process.pop(proc.instance_id, None)
             if entry is None:
                 return None
             instance, weight = entry
             instance.evict(proc, weight)
-            if not instance.residents and not instance.pattern.perpetual:
+            if (
+                instance.alive
+                and not instance.residents
+                and not instance.pattern.perpetual
+            ):
                 instance.died_at = self.clock()
+                died = instance
             self._record_timeline_locked()
-            return instance
+        if died is not None:
+            self._notify_task_death(died)
+        return instance
 
     def kill_idle_perpetual(self) -> int:
         """End every empty perpetual task instance (application wind-down).
@@ -161,14 +177,36 @@ class TaskManager:
         """
         with self._lock:
             now = self.clock()
-            n = 0
+            ended = []
             for instance in self._instances:
                 if instance.alive and not instance.residents:
                     instance.died_at = now
-                    n += 1
-            if n:
+                    ended.append(instance)
+            if ended:
                 self._record_timeline_locked()
-            return n
+        for instance in ended:
+            self._notify_task_death(instance)
+        return len(ended)
+
+    def mark_dead(self, instance: TaskInstance) -> bool:
+        """End a task instance whose OS-level process died out from
+        under the coordination layer (a crashed or killed daemon).
+
+        Residents stay mapped — their threads unwind through
+        :meth:`release` as usual, which will not double-report the
+        death.  Returns ``False`` when the instance was already dead.
+        """
+        with self._lock:
+            if not instance.alive:
+                return False
+            instance.died_at = self.clock()
+            self._record_timeline_locked()
+        self._notify_task_death(instance)
+        return True
+
+    def _notify_task_death(self, instance: TaskInstance) -> None:
+        for hook in list(self.on_task_death):
+            hook(instance)
 
     # ------------------------------------------------------------------
     # introspection

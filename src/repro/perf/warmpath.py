@@ -173,12 +173,32 @@ class WarmPathReport:
     attach_seconds: float = 0.0
     combine_seconds: float = 0.0
     overlap_ratio: float = 0.0
+    # socket-engine counters (zero for the in-process engines)
+    engine: str = "pool"
+    hosts: str = ""
+    daemons: int = 0
+    reconnects: int = 0
+    net_bytes_sent: int = 0
+    net_bytes_received: int = 0
+    net_send_seconds: float = 0.0
+    net_recv_seconds: float = 0.0
     #: trace-derived metrics of the run (None when it was not traced)
     trace: Optional["TraceAnalysis"] = None
 
     def lines(self) -> list[str]:
         """Human-readable report lines for the CLI."""
         m = self.makespan
+        network = []
+        if self.engine == "socket":
+            network.append(
+                f"socket engine: {self.daemons} daemon(s) on "
+                f"{self.hosts or 'localhost'}, "
+                f"{self.net_bytes_sent + self.net_bytes_received} framed "
+                f"bytes ({self.net_bytes_sent} sent / "
+                f"{self.net_bytes_received} received), "
+                f"{self.net_send_seconds + self.net_recv_seconds:.3f}s on "
+                f"the wire, {self.reconnects} reconnect(s)"
+            )
         resilience = []
         if self.faults:
             resilience.append(
@@ -228,7 +248,7 @@ class WarmPathReport:
                     f"({t.fault_seconds_lost:.3f}s lost + "
                     f"{t.replay_compute_seconds:.3f}s replayed)"
                 )
-        return resilience + transport + traced + [
+        return network + resilience + transport + traced + [
             f"dispatch: {self.dispatch}, pool: "
             f"{'warm' if self.warm_pool else 'cold'}"
             + (
@@ -305,5 +325,13 @@ def warm_path_report(
         attach_seconds=result.attach_seconds,
         combine_seconds=result.combine_seconds,
         overlap_ratio=result.overlap_ratio,
+        engine=result.engine,
+        hosts=result.hosts,
+        daemons=result.daemons,
+        reconnects=result.reconnects,
+        net_bytes_sent=result.net_bytes_sent,
+        net_bytes_received=result.net_bytes_received,
+        net_send_seconds=result.net_send_seconds,
+        net_recv_seconds=result.net_recv_seconds,
         trace=_as_trace_analysis(trace),
     )

@@ -24,6 +24,7 @@ generic master/worker protocol.
 
 from .master import ConcurrentResult, make_master_definition
 from .mainprog import run_concurrent
+from .netengine import HostSpec, SocketTaskEngine, WorkerDaemon, parse_hosts
 from .parallel import (
     MultiprocessingResult,
     order_longest_first,
@@ -39,7 +40,7 @@ from .pool import (
     respawn_pool,
     shutdown_pool,
 )
-from .taskengine import TaskInstanceEngine, TaskInstanceStats
+from .taskengine import TaskInstanceDied, TaskInstanceEngine, TaskInstanceStats
 from .worker import (
     ComputeEngine,
     InlineEngine,
@@ -54,13 +55,17 @@ from .worker import (
 __all__ = [
     "ComputeEngine",
     "ConcurrentResult",
+    "HostSpec",
     "InlineEngine",
     "MultiprocessingResult",
+    "SocketTaskEngine",
+    "WorkerDaemon",
     "PersistentWorkerPool",
     "PoolClosedError",
     "ProcessPoolEngine",
     "SubsolveJobSpec",
     "SubsolvePayload",
+    "TaskInstanceDied",
     "TaskInstanceEngine",
     "TaskInstanceStats",
     "acquire_pool",
@@ -70,6 +75,7 @@ __all__ = [
     "make_master_definition",
     "make_subsolve_worker",
     "order_longest_first",
+    "parse_hosts",
     "pool_diagnostics",
     "predicted_spec_seconds",
     "respawn_pool",

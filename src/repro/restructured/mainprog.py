@@ -85,9 +85,10 @@ def run_concurrent(
             runtime.on_activate_hooks.append(
                 lambda proc: _assign_host(proc, host_mapper)
             )
-            runtime.on_death_hooks.append(
-                lambda proc: _free_host(proc, host_mapper)
-            )
+            # machines are released on *task* death — any path: the last
+            # resident leaving a non-perpetual instance, the perpetual
+            # wind-down, or an engine killing the instance outright
+            task_manager.on_task_death.append(host_mapper.free)
 
     own_engine = engine is None
     engine = engine if engine is not None else InlineEngine()
@@ -131,15 +132,10 @@ def run_concurrent(
         if task_manager is not None:
             # service processes (variables, void) unwind asynchronously
             # after shutdown; wait for them so their tasks empty before
-            # the perpetual wind-down
+            # the perpetual wind-down (which frees their machines via
+            # the task-death subscription above)
             runtime.join_all(timeout=10.0)
             task_manager.kill_idle_perpetual()
-            if host_mapper is not None:
-                # perpetual tasks die only at wind-down; release their
-                # machines now that they are gone
-                for task in task_manager.instances():
-                    if not task.alive:
-                        host_mapper.free(task)
 
     result = holder.get("result")
     if result is None:
@@ -151,9 +147,3 @@ def _assign_host(proc, mapper: HostMapper) -> None:
     task = proc.task_instance
     if task is not None and task.host is None:
         mapper.assign(task)
-
-
-def _free_host(proc, mapper: HostMapper) -> None:
-    task = proc.task_instance
-    if task is not None and not task.alive:
-        mapper.free(task)

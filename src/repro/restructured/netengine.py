@@ -1,0 +1,1134 @@
+"""The socket-backed distributed task engine: MLINK semantics over TCP.
+
+The cluster simulator predicts what the paper's MANIFOLD/PVM deployment
+*would* do; this module runs the same master/worker protocol over real
+sockets.  A :class:`WorkerDaemon` is one machine of the paper's testbed:
+an OS process listening on a TCP port, hosting task instances (the
+:class:`~repro.restructured.taskengine.TaskInstanceEngine`) whose
+``{load N}`` capacity and ``{perpetual}`` reuse mirror the MLINK
+pattern attributes, reachable by address exactly like a CONFIG
+``{host}`` entry.  The master side (:class:`SocketTaskEngine`) plays
+the MANIFOLD master: it spawns or connects to daemons, ships job specs,
+and collects results — every byte crossing a real socket.
+
+Wire protocol: length-prefixed frames.  A frame is an 8-byte header
+(``RPRO`` magic + big-endian payload length) followed by the pickled
+``(kind, data)`` body.  Kinds: ``hello``/``heartbeat``/``result``/
+``error`` from the daemon, ``job``/``stop`` from the master.  The magic
+check rejects cross-talk from a non-daemon peer before any unpickling.
+
+Failure model — composing with the resilience ladder of
+:mod:`repro.resilience`:
+
+* a **dropped connection** (daemon killed, network reset, truncated
+  frame) convicts every job in flight on that daemon as a ``crash``
+  fault; the master reconnects (re-spawning a local daemon, or
+  re-dialing a remote one) with exponential backoff, recorded as a
+  ``reconnect`` trace event;
+* a **silent daemon** — no frame within ``heartbeat_timeout`` — is a
+  ``hang``: the daemon is killed and replaced, its jobs re-dispatched;
+* a **per-job deadline** (cost-model-scaled) catches a wedged job on an
+  otherwise healthy daemon; the daemon is replaced so the wedged
+  compute cannot outlive the run (or scribble into a reclaimed lease);
+* escalation follows the same :class:`~repro.resilience.policy.
+  EscalationPolicy` ladder as the fork pool — retry, reassign,
+  in-master sequential fallback, structured failure.
+
+Replays are idempotent: results are keyed ``(l, m)`` and a result frame
+whose attempt does not match the outstanding one is dropped, so a
+daemon that answers *after* being declared lost cannot corrupt the run.
+
+Data plane: a **locally spawned** daemon shares the master's machine,
+so the zero-copy shm transport works — the daemon writes through the
+job's :class:`~repro.perf.dataplane.ShmLease` and only the descriptor
+crosses the socket.  A daemon reached by address is not known to be
+host-local, so its jobs carry no lease and the payload falls back to
+pickle framing (the per-payload fallback of :func:`~repro.restructured.
+worker.ship_payload` keeps either path bitwise identical).  One
+subtlety: an attach inside a spawned daemon registers the segment with
+the *daemon's* resource tracker, which would unlink the master's live
+segment when the daemon exits — the daemon unregisters each segment
+right after its first attach (:func:`_untrack_after_ship`).
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import socket
+import struct
+import subprocess
+import sys
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from queue import Empty, Queue
+from typing import Callable, Optional
+
+from .taskengine import TaskInstanceDied, TaskInstanceEngine
+from .worker import SubsolveJobSpec, SubsolvePayload, execute_job, ship_payload
+
+__all__ = [
+    "FrameError",
+    "send_frame",
+    "recv_frame",
+    "HostSpec",
+    "parse_hosts",
+    "WorkerDaemon",
+    "NetOutcome",
+    "SocketTaskEngine",
+]
+
+#: frame header: magic + big-endian body length
+MAGIC = b"RPRO"
+_HEADER = struct.Struct("!4sI")
+
+#: refuse to allocate absurd frames (a corrupted or hostile header)
+MAX_FRAME_BYTES = 1 << 30
+
+
+class FrameError(ConnectionError):
+    """The framed stream broke: bad magic, truncation, oversize."""
+
+
+def _recv_exact(sock: socket.socket, n: int, *, at_boundary: bool) -> Optional[bytes]:
+    """Read exactly ``n`` bytes.
+
+    Returns ``None`` on a clean EOF at a frame boundary (the peer closed
+    between frames); raises :class:`FrameError` on EOF mid-frame (the
+    peer died with a frame in flight — e.g. a connection dropped during
+    a result transfer).
+    """
+    chunks: list[bytes] = []
+    remaining = n
+    while remaining:
+        chunk = sock.recv(min(remaining, 1 << 20))
+        if not chunk:
+            if at_boundary and not chunks:
+                return None
+            raise FrameError(
+                f"connection closed mid-frame ({n - remaining}/{n} bytes)"
+            )
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)
+
+
+def send_frame(sock: socket.socket, kind: str, data: object) -> tuple[int, float]:
+    """Send one ``(kind, data)`` frame; returns ``(bytes, seconds)``.
+
+    The seconds are the time spent inside ``sendall`` — with a full
+    socket buffer that is real backpressure wait, the master-side
+    ``send_wait`` of the overhead decomposition.
+    """
+    body = pickle.dumps((kind, data), protocol=pickle.HIGHEST_PROTOCOL)
+    frame = _HEADER.pack(MAGIC, len(body)) + body
+    t0 = time.perf_counter()
+    sock.sendall(frame)
+    return len(frame), time.perf_counter() - t0
+
+
+def recv_frame(
+    sock: socket.socket,
+) -> Optional[tuple[str, object, int, float]]:
+    """Receive one frame; returns ``(kind, data, bytes, seconds)``.
+
+    ``None`` means the peer closed cleanly between frames.  The seconds
+    cover only the *body* transfer (the header wait is idle time, not
+    network time).
+    """
+    header = _recv_exact(sock, _HEADER.size, at_boundary=True)
+    if header is None:
+        return None
+    magic, length = _HEADER.unpack(header)
+    if magic != MAGIC:
+        raise FrameError(f"bad frame magic {magic!r}")
+    if length > MAX_FRAME_BYTES:
+        raise FrameError(f"frame of {length} bytes exceeds the cap")
+    t0 = time.perf_counter()
+    body = _recv_exact(sock, length, at_boundary=False)
+    seconds = time.perf_counter() - t0
+    kind, data = pickle.loads(body)
+    return kind, data, _HEADER.size + length, seconds
+
+
+# ----------------------------------------------------------------------
+# the hosts grammar
+# ----------------------------------------------------------------------
+_LOCAL_NAMES = ("localhost", "127.0.0.1", "local")
+
+
+@dataclass(frozen=True)
+class HostSpec:
+    """One entry of the ``--hosts`` list.
+
+    ``spawn > 0`` means: fork that many loopback daemons on this machine
+    (the CONFIG ``{host}`` entries of a single-machine run; shm-capable
+    because they share the master's memory).  ``port`` names an
+    already-listening daemon to dial instead — not known to be
+    host-local, so its payloads travel by pickle framing.
+    """
+
+    host: str
+    spawn: int = 0
+    port: Optional[int] = None
+
+    @property
+    def local(self) -> bool:
+        return self.spawn > 0
+
+
+def parse_hosts(text: str) -> tuple[HostSpec, ...]:
+    """Parse the ``--hosts`` grammar.
+
+    ::
+
+        hosts  := entry (',' entry)*
+        entry  := 'localhost' [':' count]     # spawn count loopback daemons
+                | 'tcp://' host ':' port      # dial a running daemon
+
+    Examples: ``localhost:2`` (two spawned daemons),
+    ``localhost:2,tcp://node7:9123`` (two local plus one remote).
+    """
+    specs: list[HostSpec] = []
+    for raw in text.split(","):
+        entry = raw.strip()
+        if not entry:
+            continue
+        if entry.startswith("tcp://"):
+            rest = entry[len("tcp://") :]
+            host, sep, port_text = rest.rpartition(":")
+            if not sep or not host:
+                raise ValueError(
+                    f"bad hosts entry {entry!r}: expected tcp://host:port"
+                )
+            try:
+                port = int(port_text)
+            except ValueError:
+                raise ValueError(
+                    f"bad port {port_text!r} in hosts entry {entry!r}"
+                ) from None
+            specs.append(HostSpec(host=host, port=port))
+            continue
+        host, _, count_text = entry.partition(":")
+        if host not in _LOCAL_NAMES:
+            raise ValueError(
+                f"bad hosts entry {entry!r}: only 'localhost[:N]' entries "
+                "are spawnable; use tcp://host:port for a running daemon"
+            )
+        try:
+            count = int(count_text) if count_text else 1
+        except ValueError:
+            raise ValueError(
+                f"bad daemon count {count_text!r} in hosts entry {entry!r}"
+            ) from None
+        if count < 1:
+            raise ValueError(f"daemon count must be >= 1 in {entry!r}")
+        specs.append(HostSpec(host="127.0.0.1", spawn=count))
+    if not specs:
+        raise ValueError(f"hosts spec {text!r} contains no entries")
+    return tuple(specs)
+
+
+# ----------------------------------------------------------------------
+# the daemon side
+# ----------------------------------------------------------------------
+def _untrack_after_ship(payload: SubsolvePayload, untracked: set) -> None:
+    """Cancel this process's resource-tracker claim on a just-attached
+    segment.
+
+    The master owns the arena; a spawned daemon that attaches a segment
+    must not let *its* tracker unlink the master's live block at daemon
+    exit.  Attaches are cached per name (:func:`~repro.perf.dataplane.
+    _writer_segment`), so one unregister per first attach balances the
+    books exactly.
+    """
+    descriptor = payload.descriptor
+    if descriptor is None or descriptor.name in untracked:
+        return
+    from multiprocessing import resource_tracker
+
+    try:
+        resource_tracker.unregister(descriptor.name, "shared_memory")
+    except Exception:  # pragma: no cover - tracker not running
+        pass
+    untracked.add(descriptor.name)
+
+
+class WorkerDaemon:
+    """One machine of the testbed: task instances behind a TCP port.
+
+    ``capacity`` is the MLINK ``{load N}`` limit — how many jobs may
+    compute concurrently, each in its own OS task instance;
+    ``perpetual`` keeps an emptied instance alive to welcome the next
+    worker.  One master connection is served at a time; after a
+    disconnect the daemon returns to ``accept`` so a reconnecting
+    master finds it again.
+
+    Fault injection happens *here*, where the paper's faults happen —
+    on the worker machine: a matched ``crash`` rule kills the whole
+    daemon process unannounced (``os._exit``), ``hang`` wedges the job's
+    serving thread, ``raise`` reports a structured error frame, ``slow``
+    stretches the job to factor × its own duration.
+    """
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        *,
+        capacity: int = 1,
+        perpetual: bool = True,
+        heartbeat_interval: float = 0.5,
+    ) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self.heartbeat_interval = heartbeat_interval
+        self._listener = socket.create_server((host, port))
+        self.address = self._listener.getsockname()[:2]
+        self._engine = TaskInstanceEngine(
+            perpetual=perpetual, max_instances=capacity
+        )
+        self._stop = threading.Event()
+        self._send_lock = threading.Lock()
+        self._untracked: set = set()
+        self.jobs_served = 0
+        #: chaos hook (tests only): keys whose first result frame is
+        #: truncated mid-transfer, the connection hard-closed under it
+        self._drop_result_keys: set = set()
+
+    @property
+    def port(self) -> int:
+        return self.address[1]
+
+    def announce(self, stream=None) -> None:
+        """Print the spawner handshake line (``LISTENING <port>``)."""
+        print(f"LISTENING {self.port}", file=stream or sys.stdout, flush=True)
+
+    def stop(self) -> None:
+        self._stop.set()
+
+    # ------------------------------------------------------------------
+    def serve_forever(self) -> None:
+        """Accept masters until stopped; serve one connection at a time."""
+        self._listener.settimeout(0.2)
+        try:
+            while not self._stop.is_set():
+                try:
+                    conn, _ = self._listener.accept()
+                except socket.timeout:
+                    continue
+                except OSError:
+                    break
+                try:
+                    self._serve_connection(conn)
+                finally:
+                    try:
+                        conn.close()
+                    except OSError:  # pragma: no cover - defensive
+                        pass
+        finally:
+            self._listener.close()
+            self._engine.close()
+
+    def _serve_connection(self, conn: socket.socket) -> None:
+        self._send(conn, "hello", {
+            "pid": os.getpid(),
+            "capacity": self.capacity,
+            "perpetual": self._engine.perpetual,
+        })
+        beat_stop = threading.Event()
+        beat = threading.Thread(
+            target=self._heartbeat_loop, args=(conn, beat_stop), daemon=True
+        )
+        beat.start()
+        try:
+            while not self._stop.is_set():
+                try:
+                    frame = recv_frame(conn)
+                except (FrameError, OSError):
+                    return  # master gone; back to accept
+                if frame is None:
+                    return
+                kind, data, _, _ = frame
+                if kind == "stop":
+                    self._stop.set()
+                    return
+                if kind == "job":
+                    threading.Thread(
+                        target=self._run_job, args=(conn, data), daemon=True
+                    ).start()
+                # unknown kinds are ignored: forward compatibility
+        finally:
+            beat_stop.set()
+            beat.join(timeout=1.0)
+
+    def _heartbeat_loop(self, conn: socket.socket, stop: threading.Event) -> None:
+        while not stop.wait(self.heartbeat_interval):
+            if not self._send(conn, "heartbeat", {"pid": os.getpid()}):
+                return
+
+    def _send(self, conn: socket.socket, kind: str, data: object) -> bool:
+        """Locked send; ``False`` when the master is gone (the job's
+        result is simply lost — the master's re-dispatch recomputes it)."""
+        with self._send_lock:
+            try:
+                send_frame(conn, kind, data)
+                return True
+            except (FrameError, OSError):
+                return False
+
+    # ------------------------------------------------------------------
+    def _run_job(self, conn: socket.socket, data: dict) -> None:
+        spec: SubsolveJobSpec = data["spec"]
+        plan = data.get("plan")
+        attempt = int(data.get("attempt", 1))
+        use_cache = bool(data.get("use_cache", True))
+        lease = data.get("lease")
+        key = (spec.l, spec.m)
+        action = plan.action(spec.l, spec.m, attempt) if plan is not None else None
+        if action is not None and action.kind == "crash":
+            # the daemon kill: this machine drops off the network,
+            # task instances and all, exactly as unannounced as a
+            # power failure looks from the master's side
+            os._exit(action.exit_code)
+        if action is not None and action.kind == "hang":
+            time.sleep(action.seconds)
+        if action is not None and action.kind == "raise":
+            self._send(conn, "error", {
+                "key": key,
+                "attempt": attempt,
+                "fault_kind": "exception",
+                "error": (
+                    f"injected transient fault on grid {key}, "
+                    f"attempt {attempt}"
+                ),
+            })
+            return
+        started = time.perf_counter()
+        try:
+            payload = self._engine.compute(spec, use_cache=use_cache)
+        except TaskInstanceDied as exc:
+            self._send(conn, "error", {
+                "key": key,
+                "attempt": attempt,
+                "fault_kind": exc.fault_kind,
+                "error": str(exc),
+            })
+            return
+        except Exception as exc:  # noqa: BLE001 - marshal the failure back
+            self._send(conn, "error", {
+                "key": key,
+                "attempt": attempt,
+                "fault_kind": "exception",
+                "error": f"{type(exc).__name__}: {exc}",
+            })
+            return
+        if action is not None and action.kind == "slow":
+            time.sleep((action.factor - 1.0) * (time.perf_counter() - started))
+        payload = ship_payload(payload, lease)
+        _untrack_after_ship(payload, self._untracked)
+        if key in self._drop_result_keys:
+            self._drop_result_keys.discard(key)
+            self._drop_mid_result(conn, key, attempt, payload)
+            return
+        if self._send(conn, "result", {
+            "key": key, "attempt": attempt, "payload": payload,
+        }):
+            self.jobs_served += 1
+
+    def _drop_mid_result(
+        self, conn: socket.socket, key, attempt: int, payload
+    ) -> None:
+        """Chaos hook: truncate the result frame and kill the link —
+        a connection dropped during the result transfer."""
+        body = pickle.dumps(
+            ("result", {"key": key, "attempt": attempt, "payload": payload}),
+            protocol=pickle.HIGHEST_PROTOCOL,
+        )
+        frame = _HEADER.pack(MAGIC, len(body)) + body
+        with self._send_lock:
+            try:
+                conn.sendall(frame[: max(_HEADER.size, len(frame) // 2)])
+            except OSError:
+                pass
+            # shutdown, not just close: the serve loop's thread is
+            # blocked in recv() on this fd, and a bare close() would
+            # leave the file description held by that syscall — no FIN
+            # ever goes out and the master waits for body bytes forever.
+            # shutdown() terminates the connection regardless.
+            try:
+                conn.shutdown(socket.SHUT_RDWR)
+            except OSError:
+                pass
+            try:
+                conn.close()
+            except OSError:
+                pass
+
+
+# ----------------------------------------------------------------------
+# the master side
+# ----------------------------------------------------------------------
+@dataclass
+class _NetPending:
+    """Master-side bookkeeping of one job attempt in flight on a daemon."""
+
+    spec: SubsolveJobSpec
+    attempt: int
+    link: "_DaemonLink"
+    deadline_at: float
+    submitted_at: float
+    lease: Optional[object] = None
+
+
+class _DaemonLink:
+    """One daemon as the master sees it: socket, reader, slots."""
+
+    def __init__(
+        self,
+        name: str,
+        *,
+        spawned: bool,
+        address: Optional[tuple[str, int]] = None,
+    ) -> None:
+        self.name = name
+        self.spawned = spawned          # we own the process (loopback)
+        self.shm_ok = spawned           # host-local => lease-capable
+        self.address = address          # dial target for connect mode
+        self.sock: Optional[socket.socket] = None
+        self.proc: Optional[subprocess.Popen] = None
+        self.reader: Optional[threading.Thread] = None
+        self.capacity = 0               # learned from the hello frame
+        self.pid: Optional[int] = None
+        self.inflight: dict[tuple[int, int], _NetPending] = {}
+        self.last_frame = time.monotonic()
+        self.alive = False
+        self.reconnects = 0
+        #: bumped on every (re)attach; events from an older epoch's
+        #: reader are void — a dead connection's last gasp must not
+        #: convict its successor
+        self.epoch = 0
+
+    @property
+    def free_slots(self) -> int:
+        return max(0, self.capacity - len(self.inflight))
+
+
+@dataclass
+class NetOutcome:
+    """What one socket-engine run produced (the resilient-outcome shape
+    plus the network accounting)."""
+
+    payloads: dict[tuple[int, int], SubsolvePayload]
+    completion_order: tuple[tuple[int, int], ...]
+    attempts: int
+    events: tuple
+    recovered_keys: tuple[tuple[int, int], ...]
+    fallback_keys: tuple[tuple[int, int], ...]
+    reconnects: int
+    daemons: int
+    bytes_sent: int
+    bytes_received: int
+    net_send_seconds: float
+    net_recv_seconds: float
+
+
+class SocketTaskEngine:
+    """The master of the socket-backed distributed configuration.
+
+    ``hosts`` is a spec string (see :func:`parse_hosts`) or a sequence
+    of :class:`HostSpec`.  Spawned daemons are private to this engine
+    and torn down by :meth:`close`; dialed daemons are left running.
+    """
+
+    def __init__(
+        self,
+        hosts="localhost:2",
+        *,
+        trace=None,
+        heartbeat_timeout: float = 5.0,
+        daemon_heartbeat_interval: float = 0.5,
+        connect_timeout: float = 20.0,
+        reconnect_backoff: float = 0.05,
+        max_reconnects: int = 5,
+        poll_interval: float = 0.02,
+    ) -> None:
+        self.host_specs = (
+            parse_hosts(hosts) if isinstance(hosts, str) else tuple(hosts)
+        )
+        self.trace = trace
+        self.heartbeat_timeout = heartbeat_timeout
+        self.daemon_heartbeat_interval = daemon_heartbeat_interval
+        self.connect_timeout = connect_timeout
+        self.reconnect_backoff = reconnect_backoff
+        self.max_reconnects = max_reconnects
+        self.poll_interval = poll_interval
+        self._events: Queue = Queue()
+        self._closed = False
+        self.reconnects = 0
+        self.bytes_sent = 0
+        self.bytes_received = 0
+        self.net_send_seconds = 0.0
+        self.net_recv_seconds = 0.0
+        self.links: list[_DaemonLink] = []
+        t0 = time.perf_counter()
+        try:
+            index = 0
+            for spec in self.host_specs:
+                if spec.local:
+                    for _ in range(spec.spawn):
+                        link = _DaemonLink(f"daemon-{index}", spawned=True)
+                        self._spawn(link)
+                        self.links.append(link)
+                        index += 1
+                else:
+                    link = _DaemonLink(
+                        f"daemon-{index}",
+                        spawned=False,
+                        address=(spec.host, spec.port),
+                    )
+                    self._dial(link)
+                    self.links.append(link)
+                    index += 1
+        except Exception:
+            self.close()
+            raise
+        self.spawn_seconds = time.perf_counter() - t0
+
+    # ------------------------------------------------------------------
+    # link lifecycle
+    # ------------------------------------------------------------------
+    def _spawn(self, link: _DaemonLink) -> None:
+        """Fork a loopback daemon and connect to its announced port."""
+        cmd = [
+            sys.executable, "-m", "repro", "worker-daemon",
+            "--port", "0",
+            "--capacity", "1",
+            "--heartbeat-interval", str(self.daemon_heartbeat_interval),
+        ]
+        proc = subprocess.Popen(
+            cmd,
+            stdout=subprocess.PIPE,
+            stderr=subprocess.STDOUT,
+            text=True,
+        )
+        port = None
+        tail: deque[str] = deque(maxlen=8)
+        while True:
+            line = proc.stdout.readline()
+            if not line:
+                break
+            tail.append(line.rstrip())
+            if line.startswith("LISTENING "):
+                port = int(line.split()[1])
+                break
+        if port is None:
+            proc.wait(timeout=5.0)
+            raise RuntimeError(
+                f"{link.name} failed to start: " + " | ".join(tail)
+            )
+        link.proc = proc
+        self._attach(link, ("127.0.0.1", port))
+
+    def _dial(self, link: _DaemonLink) -> None:
+        self._attach(link, link.address)
+
+    def _attach(self, link: _DaemonLink, address: tuple[str, int]) -> None:
+        """Connect the socket and start the link's reader thread."""
+        sock = socket.create_connection(address, timeout=self.connect_timeout)
+        sock.settimeout(None)
+        link.sock = sock
+        link.alive = True
+        link.last_frame = time.monotonic()
+        link.epoch += 1
+        link.reader = threading.Thread(
+            target=self._read_loop, args=(link, sock, link.epoch), daemon=True
+        )
+        link.reader.start()
+
+    def _read_loop(
+        self, link: _DaemonLink, sock: socket.socket, epoch: int
+    ) -> None:
+        try:
+            while True:
+                frame = recv_frame(sock)
+                link.last_frame = time.monotonic()
+                self._events.put((link, epoch, frame))
+                if frame is None:
+                    return
+        except (FrameError, OSError) as exc:
+            self._events.put(
+                (link, epoch, ("__lost__", {"error": repr(exc)}, 0, 0.0))
+            )
+
+    def _detach(self, link: _DaemonLink) -> None:
+        """Tear the link's socket/process down (writer guaranteed dead
+        afterwards, so its leases are safe to reclaim)."""
+        link.alive = False
+        if link.sock is not None:
+            # shutdown before close: the link's reader thread is blocked
+            # in recv() on this fd, and close() alone would leave the
+            # file description pinned by that syscall — no FIN reaches
+            # the daemon (a dialed one would keep serving a dead
+            # connection and never return to accept) and the reader
+            # never wakes.  shutdown() does both deterministically.
+            try:
+                link.sock.shutdown(socket.SHUT_RDWR)
+            except OSError:
+                pass
+            try:
+                link.sock.close()
+            except OSError:  # pragma: no cover - defensive
+                pass
+            link.sock = None
+        if link.proc is not None:
+            if link.proc.poll() is None:
+                link.proc.kill()
+            try:
+                link.proc.wait(timeout=5.0)
+            except subprocess.TimeoutExpired:  # pragma: no cover
+                pass
+            if link.proc.stdout is not None:
+                link.proc.stdout.close()
+            link.proc = None
+        if link.reader is not None:
+            link.reader.join(timeout=2.0)
+            link.reader = None
+
+    def _revive(self, link: _DaemonLink, *, reason: str) -> bool:
+        """Reconnect (or respawn) a lost daemon with exponential backoff;
+        ``False`` once its reconnect budget is spent."""
+        if self._closed or link.reconnects >= self.max_reconnects:
+            return False
+        link.reconnects += 1
+        self.reconnects += 1
+        backoff = self.reconnect_backoff * (2 ** (link.reconnects - 1))
+        t0 = time.perf_counter()
+        time.sleep(backoff)
+        try:
+            if link.spawned:
+                self._spawn(link)
+            else:
+                self._dial(link)
+        except (OSError, RuntimeError):
+            return self._revive(link, reason=reason)
+        link.capacity = 0  # re-learned from the fresh hello
+        if self.trace is not None:
+            self.trace.record(
+                "reconnect",
+                worker=link.name,
+                attempt=link.reconnects,
+                reason=reason,
+                seconds=time.perf_counter() - t0,
+            )
+        return True
+
+    @property
+    def total_capacity(self) -> int:
+        known = sum(link.capacity for link in self.links if link.alive)
+        # before the hellos arrive, the spawned count is the best guess
+        return known or sum(
+            s.spawn if s.local else 1 for s in self.host_specs
+        )
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        for link in self.links:
+            if link.alive and link.sock is not None:
+                try:
+                    send_frame(link.sock, "stop", {})
+                except (FrameError, OSError):
+                    pass
+            self._detach(link)
+
+    def __enter__(self) -> "SocketTaskEngine":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # the dispatch loop
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        ordered: list[SubsolveJobSpec],
+        *,
+        escalation,
+        plan=None,
+        use_cache: bool = True,
+        cost_model=None,
+        fault_log=None,
+        sink=None,
+        trace=None,
+    ) -> NetOutcome:
+        """Dispatch ``ordered`` (LPT order preserved) across the daemons.
+
+        Mirrors the fork-pool resilient loop: per-job deadlines, fault
+        escalation, idempotent completion keyed ``(l, m)`` — with the
+        detection channels of a network: connection loss and heartbeat
+        silence instead of PID liveness.
+        """
+        from repro.resilience import (
+            EscalationStep,
+            FaultEvent,
+            FaultLog,
+            FaultToleranceExhausted,
+        )
+
+        trace = trace if trace is not None else self.trace
+        log = fault_log if fault_log is not None else FaultLog()
+        retry, deadline_policy = escalation.retry, escalation.deadline
+        ready: deque[tuple[SubsolveJobSpec, int]] = deque(
+            (spec, 1) for spec in ordered
+        )
+        completed: dict[tuple[int, int], SubsolvePayload] = {}
+        completion_order: list[tuple[int, int]] = []
+        pending: dict[tuple[int, int], _NetPending] = {}
+        recovered_keys: list[tuple[int, int]] = []
+        fallback_keys: list[tuple[int, int]] = []
+        attempts = 0
+
+        def predicted(spec: SubsolveJobSpec) -> Optional[float]:
+            if cost_model is None:
+                return None
+            return float(cost_model.predict_seconds(spec.l, spec.m, spec.tol))
+
+        def record_net(kind: str, key, nbytes: int, seconds: float, **extra) -> None:
+            if kind == "net_send":
+                self.bytes_sent += nbytes
+                self.net_send_seconds += seconds
+            else:
+                self.bytes_received += nbytes
+                self.net_recv_seconds += seconds
+            if trace is not None:
+                trace.record(
+                    kind, key=key, frame_bytes=nbytes, seconds=seconds, **extra
+                )
+
+        def submit(spec: SubsolveJobSpec, attempt: int, link: _DaemonLink) -> bool:
+            nonlocal attempts
+            key = (spec.l, spec.m)
+            lease = (
+                sink.lease_for(spec)
+                if sink is not None and link.shm_ok
+                else None
+            )
+            try:
+                nbytes, seconds = send_frame(link.sock, "job", {
+                    "spec": spec,
+                    "plan": plan,
+                    "attempt": attempt,
+                    "use_cache": use_cache,
+                    "lease": lease,
+                })
+            except (FrameError, OSError) as exc:
+                if lease is not None:
+                    sink.plane.revoke(lease.name, reason="send-failed")
+                ready.appendleft((spec, attempt))
+                lose_link(
+                    link,
+                    kind="crash",
+                    detected_by="connection",
+                    error=repr(exc),
+                )
+                return False
+            attempts += 1
+            now = time.monotonic()
+            if trace is not None:
+                trace.record(
+                    "job_submit", key=key, worker=link.name, attempt=attempt
+                )
+            record_net("net_send", key, nbytes, seconds, frame_kind="job")
+            pending[key] = _NetPending(
+                spec=spec,
+                attempt=attempt,
+                link=link,
+                deadline_at=now + deadline_policy.deadline_seconds(predicted(spec)),
+                submitted_at=now,
+                lease=lease,
+            )
+            link.inflight[key] = pending[key]
+            return True
+
+        def dispatch_ready() -> None:
+            while ready:
+                link = next(
+                    (
+                        l
+                        for l in self.links
+                        if l.alive and l.sock is not None and l.free_slots > 0
+                    ),
+                    None,
+                )
+                if link is None:
+                    return
+                spec, attempt = ready.popleft()
+                submit(spec, attempt, link)
+
+        def complete(key, attempt: int, payload: SubsolvePayload) -> None:
+            from repro.perf.dataplane import DataPlaneError, StaleLeaseError
+
+            job = pending.get(key)
+            if job is None or job.attempt != attempt:
+                return  # a stale replay from a daemon declared lost
+            if sink is not None:
+                try:
+                    sink.consume(key, payload, attempt=attempt)
+                except StaleLeaseError as exc:
+                    handle_fault(
+                        key, "stale", detected_by="dataplane", error=repr(exc)
+                    )
+                    return
+                except DataPlaneError as exc:
+                    handle_fault(
+                        key,
+                        "transport",
+                        detected_by="dataplane",
+                        error=repr(exc),
+                    )
+                    return
+            del pending[key]
+            job.link.inflight.pop(key, None)
+            completed[key] = payload
+            completion_order.append(key)
+            from .parallel import _trace_payload
+
+            _trace_payload(trace, payload, attempt=attempt)
+            if job.attempt > 1 and key not in recovered_keys:
+                recovered_keys.append(key)
+
+        def fail_run(cause: Optional[BaseException] = None) -> None:
+            report = log.report(
+                recovered_keys=recovered_keys,
+                fallback_keys=fallback_keys,
+                failed_key=log.events()[-1].key if len(log) else None,
+            )
+            raise FaultToleranceExhausted(report) from cause
+
+        def handle_fault(key, kind: str, detected_by: str, error: str = "") -> None:
+            job = pending.pop(key)
+            job.link.inflight.pop(key, None)
+            if sink is not None and job.lease is not None:
+                # safe unconditionally: every faulting path either ends
+                # with the daemon process dead (crash/hang/deadline kill
+                # it in lose_link) or with a daemon that never wrote
+                # (error frame, refused descriptor)
+                sink.plane.revoke(job.lease.name, reason=kind)
+            step = escalation.decide(job.attempt, kind)
+            event = FaultEvent(
+                key=key,
+                kind=kind,
+                attempt=job.attempt,
+                action=step.value,
+                detected_by=detected_by,
+                error=error,
+                seconds_lost=time.monotonic() - job.submitted_at,
+            )
+            log.record(event)
+            if trace is not None:
+                trace.record_fault(event)
+            if step in (EscalationStep.RETRY, EscalationStep.REASSIGN):
+                time.sleep(retry.delay_seconds(job.attempt, key))
+                if trace is not None:
+                    trace.record(
+                        "retry", key=key, attempt=job.attempt + 1, cause=kind
+                    )
+                ready.appendleft((job.spec, job.attempt + 1))
+            elif step is EscalationStep.FALLBACK:
+                # graceful degradation: the master computes the grid
+                # itself, sequentially and without injection; never
+                # through the data plane (no lease, no descriptor)
+                try:
+                    payload = execute_job(job.spec, use_cache=use_cache)
+                except Exception as exc:
+                    log.record(
+                        FaultEvent(
+                            key=key,
+                            kind="exception",
+                            attempt=job.attempt,
+                            action="fail",
+                            detected_by="fallback",
+                            error=repr(exc),
+                        )
+                    )
+                    fail_run(exc)
+                if sink is not None:
+                    sink.consume(key, payload, attempt=job.attempt + 1)
+                completed[key] = payload
+                completion_order.append(key)
+                fallback_keys.append(key)
+                if trace is not None:
+                    trace.record(
+                        "fallback", key=key, attempt=job.attempt, cause=kind
+                    )
+                    from .parallel import _trace_payload
+
+                    _trace_payload(
+                        trace, payload, attempt=job.attempt + 1, fallback=True
+                    )
+                if key not in recovered_keys:
+                    recovered_keys.append(key)
+            else:  # EscalationStep.FAIL
+                fail_run()
+
+        def lose_link(
+            link: _DaemonLink,
+            *,
+            kind: str,
+            detected_by: str,
+            error: str,
+            culprit=None,
+        ) -> None:
+            """A daemon died, went silent, or wedged one job: kill it,
+            fault the culprit (or everything in flight), re-queue the
+            collateral at its same attempt, then revive the daemon."""
+            if not link.alive:
+                return
+            self._detach(link)
+            for key in list(link.inflight):
+                job = link.inflight[key]
+                if culprit is None or key == culprit:
+                    handle_fault(key, kind, detected_by=detected_by, error=error)
+                else:
+                    # collateral of a daemon replacement: not the job's
+                    # fault, so no escalation step is consumed
+                    link.inflight.pop(key, None)
+                    pending.pop(key, None)
+                    if sink is not None and job.lease is not None:
+                        sink.plane.revoke(job.lease.name, reason="collateral")
+                    ready.appendleft((job.spec, job.attempt))
+            link.inflight.clear()
+            if not self._revive(link, reason=kind):
+                if not any(l.alive for l in self.links) and (pending or ready):
+                    fail_run(
+                        RuntimeError(
+                            "every worker daemon is lost and out of "
+                            "reconnect budget"
+                        )
+                    )
+
+        def handle_event(link: _DaemonLink, epoch: int, frame) -> None:
+            if epoch != link.epoch:
+                # the last gasp of a connection already replaced (its
+                # reader racing the revive): whatever it says — EOF,
+                # error, even a late result — the daemon it speaks for
+                # was already declared dead and its jobs re-dispatched
+                return
+            if frame is None:
+                lose_link(
+                    link,
+                    kind="crash",
+                    detected_by="connection",
+                    error="daemon closed the connection",
+                )
+                return
+            kind, data, nbytes, seconds = frame
+            if kind == "__lost__":
+                lose_link(
+                    link,
+                    kind="crash",
+                    detected_by="connection",
+                    error=data["error"],
+                )
+                return
+            if kind == "hello":
+                link.capacity = int(data["capacity"])
+                link.pid = data.get("pid")
+                if trace is not None:
+                    trace.record(
+                        "worker_spawn", worker=link.name, pid=link.pid
+                    )
+                return
+            if kind == "heartbeat":
+                return  # last_frame was already bumped by the reader
+            if kind == "result":
+                key = tuple(data["key"])
+                record_net(
+                    "net_recv", key, nbytes, seconds, frame_kind="result"
+                )
+                complete(key, int(data["attempt"]), data["payload"])
+                return
+            if kind == "error":
+                key = tuple(data["key"])
+                record_net(
+                    "net_recv", key, nbytes, seconds, frame_kind="error"
+                )
+                job = pending.get(key)
+                if job is not None and job.attempt == int(data["attempt"]):
+                    handle_fault(
+                        key,
+                        data.get("fault_kind", "exception"),
+                        detected_by="daemon",
+                        error=data.get("error", ""),
+                    )
+
+        while pending or ready:
+            if not any(l.alive for l in self.links):
+                fail_run(RuntimeError("no worker daemon is alive"))
+            dispatch_ready()
+            try:
+                link, epoch, frame = self._events.get(
+                    timeout=self.poll_interval
+                )
+            except Empty:
+                pass
+            else:
+                handle_event(link, epoch, frame)
+                while True:  # drain without blocking
+                    try:
+                        link, epoch, frame = self._events.get_nowait()
+                    except Empty:
+                        break
+                    handle_event(link, epoch, frame)
+            now = time.monotonic()
+            for link in self.links:
+                if (
+                    link.alive
+                    and link.inflight
+                    and now - link.last_frame > self.heartbeat_timeout
+                ):
+                    lose_link(
+                        link,
+                        kind="hang",
+                        detected_by="heartbeat",
+                        error=(
+                            f"no frame from {link.name} within "
+                            f"{self.heartbeat_timeout:.1f}s"
+                        ),
+                    )
+            now = time.monotonic()
+            for key in list(pending):
+                job = pending.get(key)
+                if job is None or now < job.deadline_at:
+                    continue
+                lose_link(
+                    job.link,
+                    kind="deadline",
+                    detected_by="deadline",
+                    error=(
+                        f"no result within "
+                        f"{job.deadline_at - job.submitted_at:.2f}s"
+                    ),
+                    culprit=key,
+                )
+
+        return NetOutcome(
+            payloads=completed,
+            completion_order=tuple(completion_order),
+            attempts=attempts,
+            events=tuple(log.events()),
+            recovered_keys=tuple(recovered_keys),
+            fallback_keys=tuple(fallback_keys),
+            reconnects=self.reconnects,
+            daemons=len(self.links),
+            bytes_sent=self.bytes_sent,
+            bytes_received=self.bytes_received,
+            net_send_seconds=self.net_send_seconds,
+            net_recv_seconds=self.net_recv_seconds,
+        )

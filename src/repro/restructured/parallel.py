@@ -82,6 +82,13 @@ __all__ = [
 
 DISPATCH_POLICIES = ("longest-first", "static")
 
+#: execution substrates: ``pool`` is the fork pool (warm path), ``task``
+#: fans threads out over one :class:`~repro.restructured.taskengine.
+#: TaskInstanceEngine` (the MLINK semantics, in-machine), ``socket``
+#: dispatches over real TCP to worker daemons
+#: (:mod:`repro.restructured.netengine`)
+ENGINES = ("pool", "task", "socket")
+
 #: result transports: ``pickle`` is the seed channel (serialize → pipe →
 #: deserialize per payload, barriered combine); ``shm`` is the zero-copy
 #: data plane of :mod:`repro.perf.dataplane` with streaming combination
@@ -219,6 +226,24 @@ class MultiprocessingResult:
     combine_overlap_seconds: float = 0.0
     #: the :class:`~repro.perf.dataplane.DataPlaneAudit` of the run
     data_plane_audit: Optional[object] = None
+
+    # ------------------------------------------------------------------
+    # the socket engine (zero on the in-machine engines)
+    # ------------------------------------------------------------------
+    #: execution substrate of this run ("pool", "task" or "socket")
+    engine: str = "pool"
+    #: the resolved ``--hosts`` spec ("" off the socket engine)
+    hosts: str = ""
+    #: worker daemons the master talked to
+    daemons: int = 0
+    #: connections re-established after a drop, silence, or daemon kill
+    reconnects: int = 0
+    #: framed bytes that crossed the sockets, each direction
+    net_bytes_sent: int = 0
+    net_bytes_received: int = 0
+    #: master-side seconds inside socket send / result-body receive
+    net_send_seconds: float = 0.0
+    net_recv_seconds: float = 0.0
 
     @property
     def overlap_ratio(self) -> float:
@@ -546,6 +571,29 @@ def _run_resilient(
         )
         raise FaultToleranceExhausted(report) from cause
 
+    def respawn_generation(key: tuple[int, int], attempt: int) -> None:
+        """A worker is wedged and occupies a slot forever: reclaim it by
+        respawning the pool, then re-dispatch every job that was in
+        flight (their handles died with the old generation); completed
+        results are untouched."""
+        collateral = list(pending.values())
+        pending.clear()
+        lease.respawn()
+        if sink is not None:
+            # the old generation's workers are dead: reclaim all
+            # outstanding leases and invalidate their in-flight
+            # descriptors (attach will refuse them as stale)
+            sink.plane.bump_generation()
+        if trace is not None:
+            trace.record(
+                "respawn",
+                key=key,
+                attempt=attempt,
+                collateral=len(collateral),
+            )
+        for other in collateral:
+            submit(other.spec, other.attempt)
+
     def handle_fault(
         key: tuple[int, int], kind: str, detected_by: str, error: str = ""
     ) -> None:
@@ -583,27 +631,7 @@ def _run_resilient(
             trace.record_fault(event)
         if step in (EscalationStep.RETRY, EscalationStep.REASSIGN):
             if kind in ("hang", "deadline"):
-                # the worker is wedged and occupies a slot forever:
-                # reclaim it by respawning the pool, then re-dispatch
-                # every job that was in flight (their handles died with
-                # the old generation); completed results are untouched
-                collateral = list(pending.values())
-                pending.clear()
-                lease.respawn()
-                if sink is not None:
-                    # the old generation's workers are dead: reclaim all
-                    # outstanding leases and invalidate their in-flight
-                    # descriptors (attach will refuse them as stale)
-                    sink.plane.bump_generation()
-                if trace is not None:
-                    trace.record(
-                        "respawn",
-                        key=key,
-                        attempt=job.attempt,
-                        collateral=len(collateral),
-                    )
-                for other in collateral:
-                    submit(other.spec, other.attempt)
+                respawn_generation(key, job.attempt)
             time.sleep(retry.delay_seconds(job.attempt, key))
             if trace is not None:
                 trace.record(
@@ -611,9 +639,20 @@ def _run_resilient(
                 )
             submit(job.spec, job.attempt + 1)
         elif step is EscalationStep.FALLBACK:
+            if kind in ("hang", "deadline"):
+                # the wedged worker outlives the job it ruined: without
+                # this respawn it keeps its pool slot *and* its shm
+                # attachment past the run, so the plane's close-audit
+                # reaps its lease late and the next warm acquisition
+                # inherits a busy worker — reclaim the generation here
+                # exactly like the retry path does
+                respawn_generation(key, job.attempt)
             # graceful degradation: the master computes the grid itself,
             # sequentially and without injection — the paper's original
-            # loop body as the last safety net before failing the run
+            # loop body as the last safety net before failing the run.
+            # This path never touches the data plane: the in-master
+            # payload carries its array directly (no lease, no
+            # descriptor), so a closed or bumped plane cannot reject it
             try:
                 payload = execute_job(job.spec, use_cache=use_cache)
             except Exception as exc:
@@ -742,6 +781,9 @@ def run_multiprocessing(
     fault_log=None,
     trace=None,
     data_plane: str = "pickle",
+    engine: str = "pool",
+    hosts: Optional[str] = None,
+    engine_options: Optional[dict] = None,
 ) -> MultiprocessingResult:
     """Run the whole application with a process pool over the grids.
 
@@ -769,6 +811,18 @@ def run_multiprocessing(
     preallocated target the moment it lands, overlapping combination
     with the remaining subsolves.  ``"pickle"`` (the default) is the
     barriered seed channel; both are bitwise identical in their output.
+
+    ``engine`` picks the execution substrate: ``"pool"`` (default) is
+    the fork pool of the warm path; ``"task"`` fans worker threads out
+    over one :class:`~repro.restructured.taskengine.TaskInstanceEngine`
+    (per-worker OS task instances with perpetual reuse); ``"socket"``
+    dispatches over real TCP to worker daemons per ``hosts`` (see
+    :func:`repro.restructured.netengine.parse_hosts`; default: one
+    local daemon per process).  The socket engine always runs the
+    resilient ladder — a network has failure modes whether or not
+    faults are injected; ``engine_options`` passes constructor knobs
+    (heartbeat timeout, reconnect budget) through to
+    :class:`~repro.restructured.netengine.SocketTaskEngine`.
     """
     if dispatch not in DISPATCH_POLICIES:
         raise ValueError(
@@ -778,9 +832,25 @@ def run_multiprocessing(
         raise ValueError(
             f"unknown data plane {data_plane!r}; choose from {DATA_PLANES}"
         )
+    if engine not in ENGINES:
+        raise ValueError(
+            f"unknown engine {engine!r}; choose from {ENGINES}"
+        )
+    if hosts is not None and engine != "socket":
+        raise ValueError("hosts requires engine='socket'")
+    if engine_options is not None and engine != "socket":
+        raise ValueError("engine_options requires engine='socket'")
     resilient = any(
         option is not None for option in (retry, deadline, escalation, faults)
     )
+    if engine == "task" and (resilient or data_plane == "shm"):
+        raise ValueError(
+            "engine='task' supports neither fault injection nor the shm "
+            "data plane; use engine='pool' or engine='socket'"
+        )
+    # the socket engine is always resilient: connection loss and daemon
+    # silence need the escalation ladder even on a fault-free run
+    resilient = resilient or engine == "socket"
     plan = None
     if faults is not None:
         from repro.resilience import FaultPlan
@@ -829,6 +899,9 @@ def run_multiprocessing(
     recovered_keys: tuple = ()
     fallback_keys: tuple = ()
     respawns = 0
+    daemons = reconnects = 0
+    net_bytes_sent = net_bytes_received = 0
+    net_send_seconds = net_recv_seconds = 0.0
     completion_order: tuple[tuple[int, int], ...]
 
     plane = None
@@ -855,7 +928,73 @@ def run_multiprocessing(
     # every exit path — success, fault escalation, KeyboardInterrupt
     with recording(trace), _plane_guard(plane) as plane_audit:
         with trace_span("fanout"):
-            if resilient:
+            if engine == "socket":
+                # lazy: keeps the socket machinery out of pool-only runs
+                from .netengine import SocketTaskEngine
+
+                hosts = hosts or f"localhost:{n_proc}"
+                net = SocketTaskEngine(
+                    hosts, trace=trace, **(engine_options or {})
+                )
+                try:
+                    outcome = net.run(
+                        ordered,
+                        escalation=escalation,
+                        plan=plan,
+                        use_cache=operator_cache,
+                        cost_model=cost_model,
+                        fault_log=fault_log,
+                        sink=sink,
+                        trace=trace,
+                    )
+                finally:
+                    net.close()
+                was_warm = False
+                cold_start = net.spawn_seconds
+                n_proc = net.total_capacity
+                payloads = outcome.payloads
+                completion_order = outcome.completion_order
+                attempts = outcome.attempts
+                events = outcome.events
+                recovered_keys = outcome.recovered_keys
+                fallback_keys = outcome.fallback_keys
+                daemons = outcome.daemons
+                reconnects = outcome.reconnects
+                net_bytes_sent = outcome.bytes_sent
+                net_bytes_received = outcome.bytes_received
+                net_send_seconds = outcome.net_send_seconds
+                net_recv_seconds = outcome.net_recv_seconds
+            elif engine == "task":
+                # thread fan-out over per-worker OS task instances: the
+                # MLINK {load 1} {perpetual} semantics, in-machine
+                from concurrent.futures import ThreadPoolExecutor
+
+                from .taskengine import TaskInstanceEngine
+
+                was_warm = False
+                t_fork = time.perf_counter()
+                tengine = TaskInstanceEngine(max_instances=n_proc)
+                cold_start = time.perf_counter() - t_fork
+                if trace is not None:
+                    for s in ordered:
+                        trace.record("job_submit", key=(s.l, s.m), attempt=1)
+                try:
+                    with ThreadPoolExecutor(max_workers=n_proc) as executor:
+                        payload_list = list(
+                            executor.map(
+                                lambda s: tengine.compute(
+                                    s, use_cache=operator_cache
+                                ),
+                                ordered,
+                            )
+                        )
+                finally:
+                    tengine.close()
+                for p in payload_list:
+                    _trace_payload(trace, p)
+                payloads = {(p.l, p.m): p for p in payload_list}
+                completion_order = tuple((p.l, p.m) for p in payload_list)
+            elif resilient:
                 lease = _PoolLease(n_proc, shared=warm_pool)
                 try:
                     outcome = _run_resilient(
@@ -1004,4 +1143,12 @@ def run_multiprocessing(
             sink.overlap_seconds if sink is not None else 0.0
         ),
         data_plane_audit=data_plane_audit,
+        engine=engine,
+        hosts=hosts or "",
+        daemons=daemons,
+        reconnects=reconnects,
+        net_bytes_sent=net_bytes_sent,
+        net_bytes_received=net_bytes_received,
+        net_send_seconds=net_send_seconds,
+        net_recv_seconds=net_recv_seconds,
     )

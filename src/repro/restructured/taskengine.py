@@ -20,29 +20,73 @@ The protocol side is unchanged: this is just another compute engine for
 from __future__ import annotations
 
 import multiprocessing
+import os
 import threading
+import time
 from dataclasses import dataclass
 from multiprocessing.connection import Connection
 from typing import Optional
 
 from .worker import ComputeEngine, SubsolveJobSpec, SubsolvePayload, execute_job
 
-__all__ = ["TaskInstanceEngine", "TaskInstanceStats"]
+__all__ = ["TaskInstanceDied", "TaskInstanceEngine", "TaskInstanceStats"]
 
 _STOP = "__task_instance_stop__"
 
 
+class TaskInstanceDied(RuntimeError):
+    """A task instance's OS process died under a job or between jobs.
+
+    The duplex channel surfaces that as ``EOFError`` / ``BrokenPipeError``
+    depending on which side of the pipe broke first; both mean the same
+    thing — the worker is gone — so the engine raises this single
+    structured error instead of letting the raw pipe traceback escape.
+    The supervision layer records it as a ``death_worker`` fault.
+    """
+
+    fault_kind = "death_worker"
+
+    def __init__(self, message: str, exitcode: Optional[int] = None) -> None:
+        super().__init__(message)
+        self.exitcode = exitcode
+
+
 def _task_instance_main(channel: Connection) -> None:
     """The OS process's serve loop: one job at a time until stopped."""
+    parent_pid = os.getppid()
     while True:
-        message = channel.recv()
+        try:
+            # orphan watchdog: a fork-context child inherits the engine
+            # process's open fds — including the write end of its *own*
+            # pipe — so if that process dies without a _STOP (a daemon
+            # killed mid-run), the pipe never EOFs and a bare recv()
+            # would block forever, leaking the process and holding any
+            # inherited sockets open.  Poll instead, and exit once the
+            # parent is gone (reparenting changes getppid()).
+            while not channel.poll(1.0):
+                if os.getppid() != parent_pid:
+                    return
+            message = channel.recv()
+        except (EOFError, OSError):
+            # the engine closed its end without a _STOP (shutdown race,
+            # or the master died) — exit quietly, not with a traceback
+            return
         if message == _STOP:
             channel.close()
             return
+        # a bare spec runs cached; a (spec, use_cache) pair is explicit
+        spec, use_cache = (
+            message if isinstance(message, tuple) else (message, True)
+        )
         try:
-            channel.send(("ok", execute_job(message)))
+            reply = ("ok", execute_job(spec, use_cache=use_cache))
         except Exception as exc:  # noqa: BLE001 - marshal the failure back
-            channel.send(("error", f"{type(exc).__name__}: {exc}"))
+            reply = ("error", f"{type(exc).__name__}: {exc}")
+        try:
+            channel.send(reply)
+        except (BrokenPipeError, OSError):
+            # the engine stopped listening mid-job; nothing to report to
+            return
 
 
 class _TaskInstance:
@@ -58,9 +102,18 @@ class _TaskInstance:
         child_end.close()
         self.jobs_served = 0
 
-    def run(self, spec: SubsolveJobSpec) -> SubsolvePayload:
-        self.channel.send(spec)
-        status, payload = self.channel.recv()
+    def run(
+        self, spec: SubsolveJobSpec, use_cache: bool = True
+    ) -> SubsolvePayload:
+        try:
+            self.channel.send(spec if use_cache else (spec, False))
+            status, payload = self.channel.recv()
+        except (EOFError, BrokenPipeError, ConnectionResetError, OSError) as exc:
+            raise TaskInstanceDied(
+                f"task instance pid={self.process.pid} died "
+                f"({type(exc).__name__}; exitcode={self.process.exitcode})",
+                exitcode=self.process.exitcode,
+            ) from exc
         self.jobs_served += 1
         if status == "error":
             raise RuntimeError(f"task instance failed: {payload}")
@@ -69,12 +122,27 @@ class _TaskInstance:
     def stop(self) -> None:
         try:
             self.channel.send(_STOP)
-            self.channel.close()
         except (BrokenPipeError, OSError):
             pass
-        self.process.join(timeout=5.0)
+        # drain until the process exits: an in-flight reply larger than
+        # the pipe buffer blocks the serve loop's send until it is read,
+        # so a bare join would deadlock into the terminate fallback —
+        # and the _STOP must never interleave with an unread reply
+        deadline = time.monotonic() + 5.0
+        while self.process.is_alive() and time.monotonic() < deadline:
+            try:
+                if self.channel.poll(0.05):
+                    self.channel.recv()
+            except (EOFError, OSError):
+                break
+        self.process.join(timeout=max(0.0, deadline - time.monotonic()))
+        try:
+            self.channel.close()
+        except OSError:  # pragma: no cover - defensive
+            pass
         if self.process.is_alive():  # pragma: no cover - defensive
             self.process.terminate()
+            self.process.join(timeout=1.0)
 
 
 @dataclass
@@ -141,10 +209,12 @@ class TaskInstanceEngine(ComputeEngine):
         instance.stop()
 
     # ------------------------------------------------------------------
-    def compute(self, spec: SubsolveJobSpec) -> SubsolvePayload:
+    def compute(
+        self, spec: SubsolveJobSpec, *, use_cache: bool = True
+    ) -> SubsolvePayload:
         instance = self._acquire()
         try:
-            payload = instance.run(spec)
+            payload = instance.run(spec, use_cache=use_cache)
         except BaseException:
             # a broken task instance is never reused
             with self._capacity:

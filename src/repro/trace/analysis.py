@@ -284,6 +284,39 @@ class TraceAnalysis:
         return sum(1 for e in self.events if e.kind == "segment_reaped")
 
     # ------------------------------------------------------------------
+    # network vs compute (the socket engine)
+    # ------------------------------------------------------------------
+    @property
+    def net_send_seconds(self) -> float:
+        """Master-side seconds spent writing frames to daemon sockets."""
+        return self._data_seconds("net_send")
+
+    @property
+    def net_recv_seconds(self) -> float:
+        """Master-side seconds spent reading frames off daemon sockets."""
+        return self._data_seconds("net_recv")
+
+    @property
+    def network_seconds(self) -> float:
+        """Total socket-transport seconds — the time the socket engine
+        spends moving bytes, split out from the compute it carries."""
+        return self.net_send_seconds + self.net_recv_seconds
+
+    @property
+    def network_bytes(self) -> int:
+        """Framed bytes moved over daemon sockets, both directions."""
+        return sum(
+            int(e.data.get("frame_bytes", 0))
+            for e in self.events
+            if e.kind in ("net_send", "net_recv")
+        )
+
+    @property
+    def n_reconnects(self) -> int:
+        """Connections re-established after a drop or daemon death."""
+        return sum(1 for e in self.events if e.kind == "reconnect")
+
+    # ------------------------------------------------------------------
     # invariants
     # ------------------------------------------------------------------
     def check_span_nesting(self) -> list[tuple[str, float, float]]:
@@ -372,4 +405,12 @@ class TraceAnalysis:
                     f"  segments reaped by the fault ladder: "
                     f"{self.n_segment_reaps}"
                 )
+        if self.network_seconds or self.n_reconnects:
+            lines.append(
+                f"network: {self.network_bytes} framed bytes over sockets; "
+                f"{self.network_seconds:.3f}s "
+                f"({self.net_send_seconds:.3f}s send + "
+                f"{self.net_recv_seconds:.3f}s recv), "
+                f"{self.n_reconnects} reconnect(s)"
+            )
         return lines

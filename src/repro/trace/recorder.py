@@ -77,6 +77,10 @@ EVENT_KINDS = (
     "payload_attach",
     "combine_chunk",
     "segment_reaped",
+    # the socket engine: network time vs compute split
+    "net_send",
+    "net_recv",
+    "reconnect",
     # nested phases
     "span_begin",
     "span_end",

@@ -301,3 +301,74 @@ class TestHostMapper:
         mapper.assign(task)
         assert mapper.hosts_in_use() == ["bumpa.sen.cwi.nl"]
         assert mapper.host_of(task) == "bumpa.sen.cwi.nl"
+
+
+class TestTaskDeathFreesHost:
+    """Regression: a task instance's machine slot must be released on
+    *task* death through every exit path — not only when a resident
+    thread's death happens to empty a non-perpetual instance.  Before
+    the ``TaskManager.on_task_death`` subscription, instances ended by
+    ``kill_idle_perpetual`` (mid-run reclamation) or ``mark_dead`` (an
+    engine observing its daemon die) held their host forever, so long
+    chaos runs wrongly exhausted the locus."""
+
+    TWO_HOSTS = """
+    {host h1 diplice.sen.cwi.nl}
+    {host h2 alboka.sen.cwi.nl}
+    {locus mainprog $h1 $h2}
+    """
+
+    class FakeProc:
+        _counter = iter(range(10_000, 20_000))
+
+        def __init__(self):
+            self.instance_id = next(self._counter)
+            self.definition_name = "Worker"
+            self.task_instance = None
+
+    def make_pair(self, perpetual: bool):
+        pattern = "{perpetual} " if perpetual else ""
+        manager = TaskManager(parse_mlink(
+            "{task mainprog " + pattern + "{load 1} {weight Worker 1}}"
+        ))
+        mapper = HostMapper(parse_config(self.TWO_HOSTS), "bumpa.sen.cwi.nl")
+        manager.on_task_death.append(mapper.free)
+        return manager, mapper
+
+    def cycle_once(self, manager, mapper, *, reclaim: bool):
+        proc = self.FakeProc()
+        task = manager.place(proc)
+        if task.host is None:
+            mapper.assign(task)
+        manager.release(proc)
+        if reclaim:
+            manager.kill_idle_perpetual()
+        return task
+
+    def test_cycling_more_instances_than_hosts_never_exhausts(self):
+        # 3 machines (startup + 2 locus), 8 sequential task instances
+        manager, mapper = self.make_pair(perpetual=False)
+        for _ in range(8):
+            self.cycle_once(manager, mapper, reclaim=False)
+        assert mapper.hosts_in_use() == []
+
+    def test_perpetual_reclamation_frees_machines(self):
+        # mid-run kill_idle_perpetual (the "ebb" of the ebb & flow)
+        # must hand the machines back for the next flow
+        manager, mapper = self.make_pair(perpetual=True)
+        for _ in range(8):
+            self.cycle_once(manager, mapper, reclaim=True)
+        assert mapper.hosts_in_use() == []
+
+    def test_mark_dead_frees_machine_exactly_once(self):
+        manager, mapper = self.make_pair(perpetual=True)
+        proc = self.FakeProc()
+        task = manager.place(proc)
+        mapper.assign(task)
+        assert manager.mark_dead(task) is True
+        assert mapper.hosts_in_use() == []
+        # second kill is a no-op: no callbacks, no double free
+        assert manager.mark_dead(task) is False
+        # the resident unwinding later must not re-report the death
+        manager.release(proc)
+        assert mapper.hosts_in_use() == []

@@ -164,6 +164,38 @@ class TestFaultComposition:
         ]
         assert any(e.data.get("reason") == "generation" for e in reaped)
 
+    def test_fallback_bypasses_the_plane_and_reclaims_the_wedge(
+        self, pickle_combined
+    ):
+        """Regression: a hang that exhausts its retries escalates to the
+        in-master sequential fallback.  The fallback payload must never
+        touch the data plane, and the wedged worker's generation must be
+        reclaimed *during* the run — before the fix its lease survived
+        to close() (``reaped_late``) and the wedged process kept its shm
+        attachment past the run."""
+        from repro.resilience import EscalationPolicy
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", ResourceWarning)
+            result = _run(
+                data_plane="shm",
+                # every attempt hangs -> retry, then FALLBACK
+                faults="hang@1,1:attempt=*,seconds=120",
+                escalation=EscalationPolicy(
+                    retry=RetryPolicy(max_attempts=2, backoff_seconds=0.01),
+                    deadline=DeadlinePolicy(
+                        floor_seconds=1.0, default_seconds=2.0
+                    ),
+                ),
+            )
+        assert result.fallbacks == 1
+        assert np.array_equal(result.combined, pickle_combined)
+        audit = result.data_plane_audit
+        assert audit.leaked == 0
+        assert audit.reaped_late == 0  # the wedge was reclaimed in-run
+        # the fallback grid went through the pickle path of the sink
+        assert result.shm_fallbacks == 1
+
     def test_no_resource_warning_leaks_across_a_faulted_run(self):
         with warnings.catch_warnings():
             warnings.simplefilter("error", ResourceWarning)

@@ -1,0 +1,364 @@
+"""The socket-backed task engine: framing, host parsing, bitwise runs,
+and the chaos suite.
+
+The acceptance invariant mirrors the data-plane suite's: whatever the
+transport does — frames over loopback TCP, a killed daemon, a
+connection dropped mid-result, a heartbeat gone silent — the combined
+solution stays *bitwise identical* to the sequential application's,
+and every recovery is visible in both the FaultReport and the trace.
+"""
+
+from __future__ import annotations
+
+import socket
+import threading
+import warnings
+
+import numpy as np
+import pytest
+
+from repro.restructured import (
+    WorkerDaemon,
+    parse_hosts,
+    run_multiprocessing,
+    shutdown_pool,
+)
+from repro.restructured.netengine import (
+    FrameError,
+    HostSpec,
+    recv_frame,
+    send_frame,
+)
+from repro.trace import TraceAnalysis, TraceRecorder
+
+LEVEL = 2
+TOL = 1.0e-3
+
+
+@pytest.fixture(autouse=True)
+def fresh_pool_state():
+    """Each test starts and ends without a shared pool."""
+    shutdown_pool()
+    yield
+    shutdown_pool()
+
+
+def _run(**kw):
+    kw.setdefault("root", 2)
+    kw.setdefault("level", LEVEL)
+    kw.setdefault("tol", TOL)
+    kw.setdefault("processes", 2)
+    return run_multiprocessing(**kw)
+
+
+@pytest.fixture(scope="module")
+def pickle_combined():
+    """The fork-pool pickle path's result — the equality reference."""
+    result = run_multiprocessing(root=2, level=LEVEL, tol=TOL, processes=2)
+    shutdown_pool()
+    return result.combined
+
+
+@pytest.fixture()
+def local_daemon():
+    """One in-process WorkerDaemon on an OS-assigned loopback port,
+    served from a thread — the ``tcp://`` dial target of the tests."""
+    daemon = WorkerDaemon(port=0, capacity=1, heartbeat_interval=0.2)
+    thread = threading.Thread(target=daemon.serve_forever, daemon=True)
+    thread.start()
+    yield daemon
+    daemon.stop()
+    thread.join(timeout=10.0)
+    assert not thread.is_alive()
+
+
+# ----------------------------------------------------------------------
+# the wire protocol
+# ----------------------------------------------------------------------
+class TestFraming:
+    def test_roundtrip(self):
+        a, b = socket.socketpair()
+        try:
+            payload = {"key": (3, 1), "blob": np.arange(100.0)}
+            sent, _ = send_frame(a, "result", payload)
+            frame = recv_frame(b)
+            assert frame is not None
+            kind, data, received, _ = frame
+            assert kind == "result"
+            assert data["key"] == (3, 1)
+            assert np.array_equal(data["blob"], payload["blob"])
+            assert sent == received > 8
+        finally:
+            a.close()
+            b.close()
+
+    def test_clean_eof_between_frames_is_none(self):
+        a, b = socket.socketpair()
+        a.close()
+        try:
+            assert recv_frame(b) is None
+        finally:
+            b.close()
+
+    def test_eof_mid_frame_raises(self):
+        a, b = socket.socketpair()
+        try:
+            # a valid header promising 1000 body bytes, then the peer dies
+            import struct
+
+            a.sendall(struct.pack("!4sI", b"RPRO", 1000) + b"x" * 10)
+            a.close()
+            with pytest.raises(FrameError, match="mid-frame"):
+                recv_frame(b)
+        finally:
+            b.close()
+
+    def test_bad_magic_raises(self):
+        a, b = socket.socketpair()
+        try:
+            a.sendall(b"HTTP" + b"\x00" * 4)
+            with pytest.raises(FrameError, match="magic"):
+                recv_frame(b)
+        finally:
+            a.close()
+            b.close()
+
+    def test_oversize_frame_rejected(self):
+        import struct
+
+        a, b = socket.socketpair()
+        try:
+            a.sendall(struct.pack("!4sI", b"RPRO", (1 << 30) + 1))
+            with pytest.raises(FrameError, match="cap"):
+                recv_frame(b)
+        finally:
+            a.close()
+            b.close()
+
+
+class TestParseHosts:
+    def test_bare_localhost_spawns_one(self):
+        assert parse_hosts("localhost") == (HostSpec("127.0.0.1", spawn=1),)
+
+    def test_localhost_with_count(self):
+        (spec,) = parse_hosts("localhost:3")
+        assert spec.spawn == 3 and spec.local
+
+    def test_tcp_entry_dials(self):
+        (spec,) = parse_hosts("tcp://node7:9123")
+        assert spec == HostSpec("node7", port=9123)
+        assert not spec.local
+
+    def test_mixed_entries(self):
+        specs = parse_hosts("localhost:2, tcp://10.0.0.7:9000")
+        assert specs[0].spawn == 2
+        assert specs[1].port == 9000
+
+    @pytest.mark.parametrize(
+        "bad",
+        ["remotehost:2", "tcp://noport", "tcp://h:abc", "localhost:0",
+         "localhost:x", ",,"],
+    )
+    def test_rejects_bad_entries(self, bad):
+        with pytest.raises(ValueError):
+            parse_hosts(bad)
+
+
+# ----------------------------------------------------------------------
+# fault-free runs through the engines
+# ----------------------------------------------------------------------
+class TestSocketRun:
+    def test_bitwise_identical_to_pool(self, pickle_combined):
+        recorder = TraceRecorder()
+        result = _run(engine="socket", hosts="localhost:2", trace=recorder)
+        assert np.array_equal(result.combined, pickle_combined)
+        assert result.engine == "socket"
+        assert result.daemons == 2
+        assert result.faults == 0
+        assert result.net_bytes_sent > 0
+        assert result.net_bytes_received > result.net_bytes_sent
+        analysis = TraceAnalysis.from_recorder(recorder)
+        assert (
+            analysis.network_bytes
+            == result.net_bytes_sent + result.net_bytes_received
+        )
+        assert analysis.n_reconnects == 0
+        assert any("network:" in line for line in analysis.report_lines())
+
+    def test_default_hosts_follow_processes(self):
+        result = _run(engine="socket")
+        assert result.daemons == 2
+        assert result.hosts == "localhost:2"
+
+    def test_shm_data_plane_over_spawned_daemons(self, pickle_combined):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", ResourceWarning)
+            result = _run(engine="socket", data_plane="shm")
+            assert np.array_equal(result.combined, pickle_combined)
+            assert result.shm_payloads == result.n_workers
+            assert result.shm_fallbacks == 0
+            audit = result.data_plane_audit
+            assert audit is not None and audit.leaked == 0
+
+    def test_dialed_daemon_never_gets_leases(self, local_daemon, pickle_combined):
+        # a tcp:// daemon is not known host-local: shm must fall back
+        # to pickle framing per payload, bitwise identically
+        result = _run(
+            engine="socket",
+            data_plane="shm",
+            hosts=f"tcp://127.0.0.1:{local_daemon.port}",
+        )
+        assert np.array_equal(result.combined, pickle_combined)
+        assert result.shm_payloads == 0
+        assert result.shm_fallbacks == result.n_workers
+        assert result.data_plane_audit.leaked == 0
+
+
+class TestTaskEngineRun:
+    def test_bitwise_identical_to_pool(self, pickle_combined):
+        result = _run(engine="task")
+        assert result.engine == "task"
+        assert np.array_equal(result.combined, pickle_combined)
+
+    def test_task_engine_rejects_faults(self):
+        with pytest.raises(ValueError, match="engine='task'"):
+            _run(engine="task", faults="crash@2,0")
+
+    def test_task_engine_rejects_shm(self):
+        with pytest.raises(ValueError, match="engine='task'"):
+            _run(engine="task", data_plane="shm")
+
+    def test_unknown_engine_rejected(self):
+        with pytest.raises(ValueError, match="unknown engine"):
+            _run(engine="mpi")
+
+    def test_hosts_require_socket_engine(self):
+        with pytest.raises(ValueError, match="hosts requires"):
+            _run(hosts="localhost:2")
+
+
+# ----------------------------------------------------------------------
+# the chaos suite
+# ----------------------------------------------------------------------
+class TestChaos:
+    def test_daemon_kill_mid_job(self, pickle_combined):
+        """A crash rule kills the whole daemon process unannounced; the
+        master convicts via connection EOF, respawns, re-dispatches."""
+        recorder = TraceRecorder()
+        result = _run(
+            engine="socket", faults="crash@2,0", trace=recorder
+        )
+        assert np.array_equal(result.combined, pickle_combined)
+        assert result.faults == 1
+        assert result.recovered == 1
+        assert result.reconnects == 1
+        (event,) = result.fault_events
+        assert event.kind == "crash"
+        assert event.key == (2, 0)
+        assert event.detected_by == "connection"
+        analysis = TraceAnalysis.from_recorder(recorder)
+        assert analysis.n_reconnects == 1
+        reconnect = next(
+            e for e in recorder.events() if e.kind == "reconnect"
+        )
+        assert reconnect.data["reason"] == "crash"
+
+    def test_daemon_kill_under_shm(self, pickle_combined):
+        """The killed daemon's lease is revoked (the writer is dead by
+        construction), the retry gets a fresh lease, nothing leaks."""
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", ResourceWarning)
+            result = _run(
+                engine="socket", data_plane="shm", faults="crash@2,0"
+            )
+            assert np.array_equal(result.combined, pickle_combined)
+            assert result.faults == 1
+            audit = result.data_plane_audit
+            assert audit.reaped >= 1
+            assert audit.leaked == 0
+
+    def test_connection_drop_during_result_transfer(
+        self, local_daemon, pickle_combined
+    ):
+        """The daemon truncates a result frame and hard-closes (RST):
+        a mid-frame EOF, convicted as a crash, recovered on re-dial."""
+        local_daemon._drop_result_keys.add((2, 0))
+        recorder = TraceRecorder()
+        result = _run(
+            engine="socket",
+            hosts=f"tcp://127.0.0.1:{local_daemon.port}",
+            trace=recorder,
+        )
+        assert np.array_equal(result.combined, pickle_combined)
+        assert result.faults >= 1
+        assert result.reconnects >= 1
+        assert any(
+            e.kind == "crash" and e.detected_by == "connection"
+            for e in result.fault_events
+        )
+        assert (2, 0) in result.recovered_keys
+        assert not local_daemon._drop_result_keys
+
+    def test_heartbeat_silence_past_deadline(self, pickle_combined):
+        """A daemon that stops talking while a job is in flight is a
+        hang: detected by heartbeat timeout, replaced, re-dispatched."""
+        # beats every 30s (never, at test scale) against a 1.2s timeout:
+        # the only liveness signal left is result frames themselves
+        daemon = WorkerDaemon(port=0, capacity=1, heartbeat_interval=30.0)
+        thread = threading.Thread(target=daemon.serve_forever, daemon=True)
+        thread.start()
+        try:
+            recorder = TraceRecorder()
+            result = _run(
+                engine="socket",
+                hosts=f"tcp://127.0.0.1:{daemon.port}",
+                faults="hang@2,0:seconds=45",
+                trace=recorder,
+                engine_options={"heartbeat_timeout": 1.2},
+            )
+            assert np.array_equal(result.combined, pickle_combined)
+            assert result.faults == 1
+            assert result.reconnects == 1
+            (event,) = result.fault_events
+            assert event.kind == "hang"
+            assert event.detected_by == "heartbeat"
+            assert event.seconds_lost >= 1.2
+        finally:
+            daemon.stop()
+            thread.join(timeout=10.0)
+
+    def test_fault_report_matches_trace(self, pickle_combined):
+        """The FaultReport's counts and the trace's recovery overhead
+        describe the same events."""
+        recorder = TraceRecorder()
+        result = _run(
+            engine="socket", faults="crash@2,0;raise@1,1", trace=recorder
+        )
+        assert np.array_equal(result.combined, pickle_combined)
+        analysis = TraceAnalysis.from_recorder(recorder)
+        assert analysis.n_faults == result.faults == 2
+        assert len(result.fault_events) == 2
+        assert result.recovered == len(result.recovered_keys) == 2
+        assert analysis.recovery_overhead_seconds > 0
+        # one fault killed the daemon (reconnect), one did not
+        assert analysis.n_reconnects == result.reconnects == 1
+
+
+# ----------------------------------------------------------------------
+# the validation harness
+# ----------------------------------------------------------------------
+class TestValidationHarness:
+    def test_predicted_and_measured_side_by_side(self):
+        from repro.cluster.validation import validate_socket_engine
+
+        report = validate_socket_engine(level=LEVEL, processes=2)
+        assert report.bitwise_identical
+        assert report.n_grids == 5
+        assert report.measured["work_critical"] > 0
+        assert report.predicted["work_critical"] > 0
+        assert report.measured["startup"] == report.predicted["startup"]
+        assert report.network_bytes > 0
+        lines = report.lines()
+        assert any("bitwise identical to sequential: True" in l for l in lines)
+        assert any(l.startswith("work_critical") for l in lines)
+        assert any(l.startswith("elapsed") for l in lines)

@@ -5,7 +5,11 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro.restructured import TaskInstanceEngine, run_concurrent
+import os
+import signal
+import time
+
+from repro.restructured import TaskInstanceDied, TaskInstanceEngine, run_concurrent
 from repro.restructured.worker import SubsolveJobSpec, execute_job
 from repro.sparsegrid import SequentialApplication
 
@@ -76,6 +80,83 @@ class TestComputation:
     def test_invalid_cap_rejected(self):
         with pytest.raises(ValueError):
             TaskInstanceEngine(max_instances=0)
+
+
+class TestLifecycleFaults:
+    """Regressions for the shutdown race and the died-worker traceback.
+
+    Before the fix, ``stop()`` sent ``_STOP`` and closed the channel
+    with a reply still in flight (child traceback, nonzero exit), and a
+    task instance that died between or under jobs surfaced as a raw
+    ``EOFError``/``BrokenPipeError`` escaping the engine.
+    """
+
+    def _kill_and_reap(self, pid: int) -> None:
+        os.kill(pid, signal.SIGKILL)
+        deadline = time.monotonic() + 5.0
+        while time.monotonic() < deadline:
+            try:
+                os.kill(pid, 0)
+            except ProcessLookupError:
+                return
+            time.sleep(0.01)
+
+    def test_stop_drains_inflight_result(self):
+        """A reply larger than the pipe buffer is in flight when stop()
+        arrives: the serve loop must still exit cleanly (the drain reads
+        the reply; the _STOP never interleaves with it)."""
+        import multiprocessing
+
+        from repro.restructured.taskengine import _TaskInstance
+
+        instance = _TaskInstance(multiprocessing.get_context("fork"))
+        try:
+            # ~130 KB solution — the child's send blocks until drained
+            instance.channel.send(spec(l=5, m=5))
+            instance.stop()
+            assert instance.process.exitcode == 0
+        finally:
+            if instance.process.is_alive():  # pragma: no cover - cleanup
+                instance.process.terminate()
+
+    def test_death_between_jobs_is_structured_fault(self):
+        with TaskInstanceEngine() as engine:
+            engine.compute(spec(l=0, m=0))  # warm one perpetual instance
+            pid = engine._idle[0].process.pid
+            self._kill_and_reap(pid)
+            with pytest.raises(TaskInstanceDied) as exc_info:
+                engine.compute(spec(l=0, m=0))
+            assert exc_info.value.fault_kind == "death_worker"
+            assert engine.live_instances == 0
+            # the engine recovers with a fresh instance
+            payload = engine.compute(spec(l=0, m=0))
+            assert payload.solution.shape == (5, 5)
+
+    def test_crash_under_job_is_structured_fault(self):
+        import threading
+
+        with TaskInstanceEngine() as engine:
+            engine.compute(spec(l=0, m=0))
+            pid = engine._idle[0].process.pid
+            raised: list[BaseException] = []
+
+            def run_long_job():
+                try:
+                    engine.compute(spec(l=5, m=5))  # ~0.7 s of compute
+                except BaseException as exc:  # noqa: BLE001
+                    raised.append(exc)
+
+            thread = threading.Thread(target=run_long_job)
+            thread.start()
+            time.sleep(0.2)  # let the job reach the child
+            self._kill_and_reap(pid)
+            thread.join(timeout=30)
+            assert not thread.is_alive()
+            assert len(raised) == 1
+            assert isinstance(raised[0], TaskInstanceDied)
+            # a dead instance is never reused
+            assert engine.live_instances == 0
+            engine.compute(spec(l=0, m=0))
 
 
 class TestThroughProtocol:
