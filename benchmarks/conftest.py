@@ -3,11 +3,21 @@
 The cost model is calibrated once against the real solver (levels 4-6,
 both tolerances) and cached to ``benchmarks/.calibration.json`` so
 repeated benchmark invocations skip the ~10 s of measurement.
+
+Every bench run also persists its perf trajectory: a
+``pytest_sessionfinish`` hook groups the session's benchmark stats by
+module and appends one run record (git rev, timestamp, medians, the
+speedup ratios carried in ``extra_info``) to ``BENCH_<name>.json``
+next to the bench files, so speedups and regressions are tracked
+across PRs instead of claimed in commit messages.
 """
 
 from __future__ import annotations
 
+import json
 import os
+import subprocess
+from datetime import datetime, timezone
 from pathlib import Path
 
 import pytest
@@ -18,6 +28,98 @@ from repro.perf.costmodel import CostModel, measure_costs
 CACHE = Path(__file__).parent / ".calibration.json"
 CALIBRATION_LEVELS = [4, 5, 6]
 TOLS = [1.0e-3, 1.0e-4]
+
+BENCH_DIR = Path(__file__).parent
+#: runs retained per ``BENCH_<name>.json`` trajectory file
+BENCH_HISTORY_CAP = 50
+
+
+def _git_rev() -> str:
+    try:
+        return subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            cwd=BENCH_DIR, capture_output=True, text=True, check=True,
+            timeout=10,
+        ).stdout.strip()
+    except (OSError, subprocess.SubprocessError):
+        return "unknown"
+
+
+def _jsonable(value):
+    """Coerce ``extra_info`` values (possibly numpy scalars) to JSON."""
+    if isinstance(value, (bool, int, float, str)) or value is None:
+        return value
+    try:
+        return float(value)
+    except (TypeError, ValueError):
+        return str(value)
+
+
+def _bench_entry(bench) -> dict:
+    """One benchmark's record: name, stats medians, extra_info ratios."""
+    entry: dict = {"name": getattr(bench, "name", "") or ""}
+    group = getattr(bench, "group", None)
+    if group:
+        entry["group"] = group
+    stats = getattr(bench, "stats", None)
+    if stats is not None:
+        for field in ("median", "mean", "stddev", "rounds"):
+            value = getattr(stats, field, None)
+            if value is not None:
+                entry[field] = (
+                    int(value) if field == "rounds" else float(value)
+                )
+    extra = dict(getattr(bench, "extra_info", None) or {})
+    if extra:
+        entry["extra_info"] = {
+            key: _jsonable(val) for key, val in sorted(extra.items())
+        }
+    return entry
+
+
+def record_bench_run(name: str, benches, *, directory: Path = None) -> Path:
+    """Append one run record to ``BENCH_<name>.json`` (capped history).
+
+    The shared writer behind the session hook; benches (or tests) can
+    call it directly to persist out-of-band measurements.
+    """
+    directory = BENCH_DIR if directory is None else directory
+    path = directory / f"BENCH_{name}.json"
+    history: list = []
+    if path.exists():
+        try:
+            history = json.loads(path.read_text()).get("runs", [])
+        except (ValueError, OSError):
+            history = []
+    history.append({
+        "git_rev": _git_rev(),
+        "timestamp": datetime.now(timezone.utc).isoformat(
+            timespec="seconds"
+        ),
+        "benchmarks": [_bench_entry(b) for b in benches],
+    })
+    payload = {
+        "benchmark": name,
+        "runs": history[-BENCH_HISTORY_CAP:],
+    }
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return path
+
+
+def pytest_sessionfinish(session, exitstatus):
+    """Persist the session's benchmark stats as per-module trajectories."""
+    bench_session = getattr(session.config, "_benchmarksession", None)
+    if bench_session is None or not bench_session.benchmarks:
+        return
+    by_module: dict[str, list] = {}
+    for bench in bench_session.benchmarks:
+        fullname = getattr(bench, "fullname", "") or ""
+        stem = Path(fullname.split("::")[0]).stem
+        name = stem[len("bench_"):] if stem.startswith("bench_") else stem
+        if name:
+            by_module.setdefault(name, []).append(bench)
+    for name, benches in sorted(by_module.items()):
+        record_bench_run(name, benches)
 
 #: ``REPRO_WARM_PATH_FULL=1`` switches bench_warm_path from the fast
 #: smoke mode (default, runs inside the tier-1 suite so the cold/warm
@@ -38,6 +140,13 @@ DATA_PLANE_FULL = os.environ.get("REPRO_DATA_PLANE_FULL", "") not in ("", "0")
 #: fast smoke mode to a bigger level and more rounds.
 SOCKET_ENGINE_FULL = os.environ.get(
     "REPRO_SOCKET_ENGINE_FULL", ""
+) not in ("", "0")
+
+#: ``REPRO_SPLIT_SOLVE_FULL=1`` switches bench_split_solve from the
+#: fast smoke mode (short integration window, tier-1 suite) to the full
+#: measurement (whole integration window, more rounds).
+SPLIT_SOLVE_FULL = os.environ.get(
+    "REPRO_SPLIT_SOLVE_FULL", ""
 ) not in ("", "0")
 
 
@@ -113,6 +222,36 @@ def socket_engine_settings() -> dict:
         "full": False,
         "level": 3, "tol": 1.0e-3, "processes": 2,
         "rounds": 2,
+    }
+
+
+@pytest.fixture(scope="session")
+def split_solve_settings() -> dict:
+    """Configuration of the split-solve bench: unsplit vs k-strip Schur
+    substructuring on the critical-path grids of the level-5 family at
+    root 5 (the anisotropic long-axis shapes the decomposition targets).
+    ``makespan_workers`` puts the schedule in the worker-rich regime
+    (``w >= 2*level + 1``, the paper's worker-count relation) where LPT
+    is pinned to the longest job and only splitting it helps.  The
+    smoke mode shortens the integration window; the full mode runs the
+    whole window with more rounds."""
+    if SPLIT_SOLVE_FULL:
+        return {
+            "full": True,
+            "root": 5, "level": 5, "tol": 1.0e-3,
+            "t_end": 0.25, "rounds": 3,
+            "k_options": (2, 4), "makespan_workers": 16,
+            "top_fraction": 0.5, "min_reduction": 1.3,
+        }
+    # the smoke floor is slightly relaxed: the short integration window
+    # leaves ~5% machine noise on the lane projection, and the issue's
+    # 1.3x figure is asserted (and recorded) by the full mode
+    return {
+        "full": False,
+        "root": 5, "level": 5, "tol": 1.0e-3,
+        "t_end": 0.12, "rounds": 3,
+        "k_options": (2, 4), "makespan_workers": 16,
+        "top_fraction": 0.5, "min_reduction": 1.2,
     }
 
 

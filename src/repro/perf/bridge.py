@@ -35,24 +35,36 @@ __all__ = ["costs_from_run", "records_from_run", "replay_on_cluster"]
 AnyRunResult = Union[SequentialResult, ConcurrentResult, MultiprocessingResult]
 
 
-def _per_grid(result: AnyRunResult) -> dict[tuple[int, int], tuple[float, int, int]]:
-    """(wall seconds, solves, result bytes) per grid, from any run kind.
+def _per_grid(
+    result: AnyRunResult,
+) -> dict[tuple[int, int], tuple[float, int, int, int]]:
+    """(wall seconds, solves, result bytes, split_k) per grid.
 
     Rejects non-finite or negative wall times up front: a corrupted
     timing (NaN from a serialization bug, a negative from clock
     arithmetic) would otherwise silently poison the cost-model fit or
     the cluster replay far downstream of its origin.
     """
-    out: dict[tuple[int, int], tuple[float, int, int]] = {}
+    out: dict[tuple[int, int], tuple[float, int, int, int]] = {}
     if isinstance(result, SequentialResult):
         for key, sub in result.data.results.items():
-            out[key] = (sub.wall_seconds, sub.stats.solves, sub.solution.nbytes)
+            out[key] = (
+                sub.wall_seconds,
+                sub.stats.solves,
+                sub.solution.nbytes,
+                getattr(sub.stats, "split_k", 1),
+            )
     else:
         for key, payload in result.payloads.items():
-            out[key] = (payload.wall_seconds, payload.solves, payload.solution.nbytes)
+            out[key] = (
+                payload.wall_seconds,
+                payload.solves,
+                payload.solution.nbytes,
+                getattr(payload, "split_k", 1),
+            )
     bad = {
         key: wall
-        for key, (wall, _solves, _bytes) in out.items()
+        for key, (wall, _solves, _bytes, _k) in out.items()
         if not math.isfinite(wall) or wall < 0.0
     }
     if bad:
@@ -87,9 +99,17 @@ def costs_from_run(result: AnyRunResult) -> list[GridCost]:
 
 
 def records_from_run(result: AnyRunResult) -> list[CostRecord]:
-    """The run's grids as cost-model calibration records."""
+    """The run's grids as cost-model calibration records.
+
+    Sharded (split) payloads are tagged with their ``split_k`` so
+    :meth:`~repro.perf.costmodel.CostModel.fit` can keep them out of
+    the unsplit wall regression; their counters stay in system-level
+    units (see :class:`~repro.perf.costmodel.CostRecord`).
+    """
     records = []
-    for (l, m), (wall, solves, _bytes) in sorted(_per_grid(result).items()):
+    for (l, m), (wall, solves, _bytes, split_k) in sorted(
+        _per_grid(result).items()
+    ):
         grid = Grid(result.root, l, m)
         records.append(
             CostRecord(
@@ -100,6 +120,7 @@ def records_from_run(result: AnyRunResult) -> list[CostRecord]:
                 solves=solves,
                 steps_accepted=max(1, solves // 2),
                 n_interior=grid.n_interior,
+                split_k=split_k,
             )
         )
     return records

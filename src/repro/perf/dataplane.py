@@ -77,6 +77,7 @@ __all__ = [
     "DataPlaneAudit",
     "DataPlane",
     "write_through_lease",
+    "read_descriptor",
     "payload_nbytes",
 ]
 
@@ -513,3 +514,36 @@ def write_through_lease(lease: ShmLease, array) -> Optional[ShmDescriptor]:
         payload_bytes=data.nbytes,
         generation=lease.generation,
     )
+
+
+def read_descriptor(descriptor: ShmDescriptor) -> np.ndarray:
+    """Peer-side read of a descriptor written by *another* process.
+
+    The master consumes worker-written descriptors through
+    :meth:`DataPlane.attach` (it owns the creating handle); this is the
+    mirror for processes that do *not* own the plane — the strip-team
+    children reading master-written halo/interface vectors.  Uses the
+    same cached writer mapping as :func:`write_through_lease`, verifies
+    the checksum, and returns a *copy* (the block is about to be
+    rewritten by the next exchange; the reader must not hold a view).
+    Generation discipline is the master's job — peers only ever receive
+    descriptors the master minted for the current generation.
+    """
+    shm = _writer_segment(descriptor.name)
+    if descriptor.payload_bytes > shm.size:
+        raise DataPlaneError(
+            f"descriptor claims {descriptor.payload_bytes} bytes in a "
+            f"{shm.size}-byte segment {descriptor.name!r}"
+        )
+    buf = shm.buf[: descriptor.payload_bytes]
+    if _checksum(buf) != descriptor.checksum:
+        del buf
+        raise DataPlaneError(
+            f"checksum mismatch reading segment {descriptor.name!r}"
+        )
+    view = np.ndarray(
+        descriptor.shape, dtype=np.dtype(descriptor.dtype), buffer=buf
+    )
+    out = view.copy()
+    del view, buf
+    return out

@@ -173,6 +173,13 @@ class WarmPathReport:
     attach_seconds: float = 0.0
     combine_seconds: float = 0.0
     overlap_ratio: float = 0.0
+    # intra-grid split counters ("off" / zeros when no grid was split)
+    split: str = "off"
+    split_grids: tuple = ()
+    split_payloads: int = 0
+    halo_exchanges: int = 0
+    halo_bytes: int = 0
+    strip_respawns: int = 0
     # socket-engine counters (zero for the in-process engines)
     engine: str = "pool"
     hosts: str = ""
@@ -230,6 +237,21 @@ class WarmPathReport:
                 f"data plane: pickle, {self.transport_pickle_bytes} bytes "
                 f"through the result pipe"
             )
+        splitting = []
+        if self.split_payloads:
+            grids = ", ".join(
+                f"({l},{m})×{k}" for (l, m), k in self.split_grids
+            )
+            splitting.append(
+                f"split ({self.split}): {self.split_payloads} sharded "
+                f"grid(s) [{grids}], {self.halo_exchanges} halo "
+                f"exchange(s) ({self.halo_bytes} bytes)"
+                + (
+                    f", {self.strip_respawns} strip respawn(s)"
+                    if self.strip_respawns
+                    else ""
+                )
+            )
         traced = []
         if self.trace is not None:
             t = self.trace
@@ -248,7 +270,16 @@ class WarmPathReport:
                     f"({t.fault_seconds_lost:.3f}s lost + "
                     f"{t.replay_compute_seconds:.3f}s replayed)"
                 )
-        return network + resilience + transport + traced + [
+            if t.n_strip_factors:
+                traced.append(
+                    f"trace: split efficiency — {t.n_strip_factors} strip "
+                    f"factor(s) ({t.strip_factor_seconds:.3f}s serial, "
+                    f"{t.critical_strip_factor_seconds:.3f}s critical), "
+                    f"{t.n_schur_solves} interface solve(s) "
+                    f"({t.schur_solve_seconds:.3f}s), "
+                    f"{t.n_halo_exchanges} halo exchange(s)"
+                )
+        return network + resilience + transport + splitting + traced + [
             f"dispatch: {self.dispatch}, pool: "
             f"{'warm' if self.warm_pool else 'cold'}"
             + (
@@ -325,6 +356,12 @@ def warm_path_report(
         attach_seconds=result.attach_seconds,
         combine_seconds=result.combine_seconds,
         overlap_ratio=result.overlap_ratio,
+        split=getattr(result, "split", "off"),
+        split_grids=getattr(result, "split_grids", ()),
+        split_payloads=getattr(result, "split_payloads", 0),
+        halo_exchanges=getattr(result, "halo_exchanges", 0),
+        halo_bytes=getattr(result, "halo_bytes", 0),
+        strip_respawns=getattr(result, "strip_respawns", 0),
         engine=result.engine,
         hosts=result.hosts,
         daemons=result.daemons,

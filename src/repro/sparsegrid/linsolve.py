@@ -13,7 +13,7 @@ from __future__ import annotations
 
 import time
 from collections import OrderedDict
-from typing import Optional
+from typing import Hashable, Optional
 
 import numpy as np
 import scipy.sparse as sp
@@ -23,13 +23,19 @@ __all__ = ["FactorCache", "RosenbrockSystemSolver"]
 
 
 class FactorCache:
-    """A bounded LRU of LU factors keyed by step size ``h``.
+    """A bounded LRU of LU factors keyed by any hashable key.
 
-    The factor of ``(I - gamma*h*J)`` depends only on ``(J, gamma, h)``
-    — not on the tolerance or the time span — so one cache instance can
-    outlive many integrations of the same operator (the warm path: the
-    n-run averaging protocol re-solves the identical grid and replays
-    the identical ``h`` sequence).  Reusing a factor is bitwise safe:
+    The unsplit path keys by step size ``h`` alone: the factor of
+    ``(I - gamma*h*J)`` depends only on ``(J, gamma, h)`` — not on the
+    tolerance or the time span — so one cache instance can outlive many
+    integrations of the same operator (the warm path: the n-run
+    averaging protocol re-solves the identical grid and replays the
+    identical ``h`` sequence).  The split path
+    (:mod:`repro.sparsegrid.decompose`) stores strip and interface
+    factors in the *same* cache under composite keys
+    ``(split-signature, strip, h)`` / ``(split-signature, 'schur', h)``,
+    so the two never collide and a grid's split and unsplit factors
+    share one eviction budget.  Reusing a factor is bitwise safe:
     ``splu`` is deterministic, the cached object *is* the object a fresh
     factorization would produce.
     """
@@ -38,7 +44,7 @@ class FactorCache:
         if maxsize < 1:
             raise ValueError(f"maxsize must be >= 1, got {maxsize}")
         self.maxsize = maxsize
-        self._factors: OrderedDict[float, spla.SuperLU] = OrderedDict()
+        self._factors: OrderedDict[Hashable, object] = OrderedDict()
         self.hits = 0
         self.misses = 0
         self.evictions = 0
@@ -46,7 +52,7 @@ class FactorCache:
     def __len__(self) -> int:
         return len(self._factors)
 
-    def get(self, h: float) -> Optional[spla.SuperLU]:
+    def get(self, h: Hashable) -> Optional[object]:
         lu = self._factors.get(h)
         if lu is None:
             self.misses += 1
@@ -55,7 +61,7 @@ class FactorCache:
         self.hits += 1
         return lu
 
-    def put(self, h: float, lu: spla.SuperLU) -> None:
+    def put(self, h: Hashable, lu: object) -> None:
         self._factors[h] = lu
         self._factors.move_to_end(h)
         while len(self._factors) > self.maxsize:

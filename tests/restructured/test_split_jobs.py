@@ -1,0 +1,305 @@
+"""Sharded (split) jobs through the execution layers.
+
+Covers the split map resolution, the end-to-end ``run_multiprocessing``
+split path (tolerance-equivalent to the unsplit run, observability
+fields populated, trace aggregates emitted), the shm-backed strip
+process team — including the chaos case: a worker crash mid-strip is
+recovered by re-dispatching just that strip, and the recovered run is
+bitwise identical to a fault-free split run — and the cost-model side
+(split records stay out of the wall calibration, ``plan_split``
+decides when sharding beats packing).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.perf.bridge import records_from_run
+from repro.perf.costmodel import CostModel
+from repro.restructured.parallel import (
+    resolve_split_map,
+    run_multiprocessing,
+)
+from repro.restructured.strip_team import StripProcessTeam
+from repro.restructured.worker import SubsolveJobSpec, execute_job
+from repro.sparsegrid.decompose import StripPlan, split_tolerance
+from repro.sparsegrid.grid import Grid
+from repro.sparsegrid.registry import make_problem
+from repro.sparsegrid.subsolve import subsolve
+from repro.trace import TraceRecorder
+from tests.conftest import synthetic_records
+
+ROOT = 2
+TOL = 1.0e-3
+
+
+def make_specs(level: int = 4) -> list[SubsolveJobSpec]:
+    from repro.sparsegrid.grid import nested_loop_grids
+
+    return [
+        SubsolveJobSpec(
+            problem_name="rotating-cone", root=ROOT, l=g.l, m=g.m,
+            tol=TOL, t_end=0.1,
+        )
+        for g in nested_loop_grids(ROOT, level)
+    ]
+
+
+# ----------------------------------------------------------------------
+# the split map
+# ----------------------------------------------------------------------
+class TestResolveSplitMap:
+    def test_off_splits_nothing(self):
+        assert resolve_split_map(
+            "off", make_specs(), level=4, tol=TOL, n_workers=4
+        ) == {}
+
+    def test_single_worker_splits_nothing(self):
+        assert resolve_split_map(
+            2, make_specs(), level=4, tol=TOL, n_workers=1
+        ) == {}
+
+    def test_k_one_splits_nothing(self):
+        assert resolve_split_map(
+            1, make_specs(), level=4, tol=TOL, n_workers=4
+        ) == {}
+
+    def test_invalid_k_rejected(self):
+        with pytest.raises(ValueError):
+            resolve_split_map(0, make_specs(), level=4, tol=TOL, n_workers=4)
+
+    def test_integer_k_targets_head_of_line_grids(self):
+        specs = make_specs(4)
+        split_map = resolve_split_map(
+            2, specs, level=4, tol=TOL, n_workers=4
+        )
+        top = max(s.grid.n_interior for s in specs)
+        assert split_map
+        for key, k in split_map.items():
+            assert k == 2
+            grid = Grid(ROOT, *key)
+            assert grid.n_interior == top
+        assert set(split_map) == {
+            (s.l, s.m) for s in specs if s.grid.n_interior == top
+        }
+
+    def test_auto_without_model_falls_back_to_structural(self):
+        specs = make_specs(4)
+        auto = resolve_split_map("auto", specs, level=4, tol=TOL, n_workers=4)
+        assert auto == resolve_split_map(
+            2, specs, level=4, tol=TOL, n_workers=4
+        )
+
+    def test_auto_uses_cost_model_plan(self):
+        class FakeModel:
+            def plan_split(self, level, tol, *, n_workers):
+                return {(2, 2): 4}
+
+        assert resolve_split_map(
+            "auto", make_specs(), level=4, tol=TOL, n_workers=4,
+            cost_model=FakeModel(),
+        ) == {(2, 2): 4}
+
+
+# ----------------------------------------------------------------------
+# sharded specs through the worker
+# ----------------------------------------------------------------------
+class TestSplitJobSpec:
+    def test_spec_split_k_defaults_to_one(self):
+        spec = make_specs()[0]
+        assert spec.split_k == 1
+
+    def test_execute_job_honours_split_k(self):
+        from dataclasses import replace
+
+        base = [s for s in make_specs() if (s.l, s.m) == (2, 2)][0]
+        plain = execute_job(base)
+        split = execute_job(replace(base, split_k=2))
+        assert plain.split_k == 1
+        assert split.split_k == 2
+        assert split.halo_exchanges > 0
+        assert split.halo_bytes > 0
+        diff = float(np.max(np.abs(split.solution - plain.solution)))
+        assert diff <= split_tolerance(TOL)
+
+
+# ----------------------------------------------------------------------
+# end to end through the pool
+# ----------------------------------------------------------------------
+class TestRunMultiprocessingSplit:
+    @pytest.fixture(scope="class")
+    def unsplit(self):
+        return run_multiprocessing(
+            root=ROOT, level=4, tol=TOL, processes=2, split="off"
+        )
+
+    @pytest.fixture(scope="class")
+    def split(self):
+        recorder = TraceRecorder()
+        result = run_multiprocessing(
+            root=ROOT, level=4, tol=TOL, processes=2, split=2,
+            trace=recorder,
+        )
+        return result, recorder
+
+    def test_split_matches_unsplit_within_tolerance(self, unsplit, split):
+        result, _ = split
+        diff = float(np.max(np.abs(result.combined - unsplit.combined)))
+        assert diff <= split_tolerance(TOL)
+
+    def test_split_observability_fields(self, unsplit, split):
+        result, _ = split
+        assert result.split == "k=2"
+        assert result.split_grids
+        assert all(k == 2 for _key, k in result.split_grids)
+        assert result.split_payloads
+        assert result.halo_exchanges > 0
+        assert result.halo_bytes > 0
+        assert unsplit.split == "off"
+        assert unsplit.split_grids == ()
+        assert unsplit.halo_exchanges == 0
+
+    def test_split_payload_counters(self, split):
+        result, _ = split
+        split_keys = {key for key, _k in result.split_grids}
+        for key in split_keys:
+            payload = result.payloads[key]
+            assert payload.split_k == 2
+            assert payload.interface_unknowns > 0
+            assert payload.strip_solves > 0
+            assert payload.interface_solves > 0
+        for key, payload in result.payloads.items():
+            if key not in split_keys:
+                assert payload.split_k == 1
+
+    def test_trace_carries_split_aggregates(self, split):
+        _result, recorder = split
+        kinds = {e.kind for e in recorder.events()}
+        assert {"strip_factor", "halo_exchange", "schur_solve"} <= kinds
+
+    def test_split_off_is_bitwise_identical_to_default(self, unsplit):
+        default = run_multiprocessing(root=ROOT, level=4, tol=TOL, processes=2)
+        assert np.array_equal(default.combined, unsplit.combined)
+
+
+# ----------------------------------------------------------------------
+# the strip process team (shm halo exchange)
+# ----------------------------------------------------------------------
+class TestStripProcessTeam:
+    GRID = Grid(ROOT, 4, 2)
+
+    def run_team(self, fault_injections=None):
+        problem = make_problem("rotating-cone")
+        team = StripProcessTeam(fault_injections=fault_injections)
+        result = subsolve(
+            problem, self.GRID, TOL, 0.1, split_k=4, strip_executor=team,
+        )
+        return result, team.respawns
+
+    def test_team_matches_serial_split_bitwise(self):
+        problem = make_problem("rotating-cone")
+        serial = subsolve(problem, self.GRID, TOL, 0.1, split_k=4)
+        team_result, respawns = self.run_team()
+        assert np.array_equal(team_result.solution, serial.solution)
+        assert respawns == 0
+        assert team_result.stats.strip_respawns == 0
+
+    def test_crash_mid_strip_recovers_bitwise(self):
+        """The chaos case: kill strip 1's worker mid-run; the fault
+        ladder re-dispatches just that strip and the recovered run is
+        bitwise identical to the fault-free split run."""
+        fault_free, _ = self.run_team()
+        chaotic, respawns = self.run_team(fault_injections={1: 5})
+        assert respawns == 1
+        assert chaotic.stats.strip_respawns == 1
+        assert np.array_equal(chaotic.solution, fault_free.solution)
+
+    def test_multiple_strip_crashes_recover(self):
+        """Two different strips crash at different points; both are
+        re-dispatched and the run still matches the fault-free one."""
+        fault_free, _ = self.run_team()
+        chaotic, respawns = self.run_team(fault_injections={0: 3, 2: 7})
+        assert respawns == 2
+        assert chaotic.stats.strip_respawns == 2
+        assert np.array_equal(chaotic.solution, fault_free.solution)
+
+
+# ----------------------------------------------------------------------
+# the cost model side
+# ----------------------------------------------------------------------
+class TestSplitCostModel:
+    @pytest.fixture(scope="class")
+    def model(self):
+        return CostModel.fit(synthetic_records(), root=2)
+
+    def test_records_from_split_run_carry_split_k(self):
+        result = run_multiprocessing(
+            root=ROOT, level=4, tol=TOL, processes=2, split=2
+        )
+        records = records_from_run(result)
+        split_keys = {key for key, _k in result.split_grids}
+        tagged = {(r.l, r.m): r.split_k for r in records}
+        for key in split_keys:
+            assert tagged[key] == 2
+        assert any(k == 1 for k in tagged.values())
+
+    def test_fit_keeps_split_walls_out_of_calibration(self):
+        from dataclasses import replace
+
+        records = synthetic_records()
+
+        def is_target(r):
+            return r.l + r.m >= 6 and r.tol == 1.0e-3
+
+        # corrupt the largest grids with inflated split walls — the fit
+        # must behave exactly as if those records were absent
+        poisoned = [
+            replace(r, wall_seconds=r.wall_seconds * 7.0, split_k=4)
+            if is_target(r) else r
+            for r in records
+        ]
+        refit = CostModel.fit(poisoned, root=2)
+        oracle = CostModel.fit(
+            [r for r in records if not is_target(r)], root=2
+        )
+        assert refit.wall_coefficients == pytest.approx(
+            oracle.wall_coefficients, rel=1e-9
+        )
+        poisoned_keys = {
+            (r.l, r.m, r.tol) for r in poisoned if r.split_k != 1
+        }
+        assert poisoned_keys
+        assert not poisoned_keys & set(refit.measured)
+
+    def test_predict_split_seconds_shrinks_with_k(self, model):
+        base = model.predict_seconds(8, 8, TOL)
+        k2 = model.predict_split_seconds(8, 8, TOL, 2)
+        k4 = model.predict_split_seconds(8, 8, TOL, 4)
+        assert k2 < base
+        assert k4 < k2
+        assert k4 >= 0.25 * base
+
+    def test_predict_split_seconds_k1_returns_base(self, model):
+        assert model.predict_split_seconds(8, 8, TOL, 1) == pytest.approx(
+            model.predict_seconds(8, 8, TOL)
+        )
+
+    def test_plan_split_triggers_only_when_makespan_drops(self, model):
+        # one worker: splitting cannot help
+        assert model.plan_split(12, TOL, n_workers=1) == {}
+        # small grids: per-stage interface latency eats the gain, so
+        # the model keeps LPT packing even with plenty of workers
+        assert model.plan_split(8, TOL, n_workers=17) == {}
+        # worker-rich regime on a big level: the head-of-line grid splits
+        plan = model.plan_split(12, TOL, n_workers=25)
+        assert plan
+        for (l, m), k in plan.items():
+            assert k in (2, 4)
+            assert l + m == 12  # only top-diagonal (head-of-line) grids
+
+    def test_plan_split_respects_min_gain(self, model):
+        generous = model.plan_split(12, TOL, n_workers=25, min_gain=1.0)
+        demanding = model.plan_split(12, TOL, n_workers=25, min_gain=100.0)
+        assert demanding == {}
+        assert len(generous) >= 1
