@@ -135,6 +135,10 @@ def build_parser() -> argparse.ArgumentParser:
     p_wd.add_argument("--heartbeat-interval", type=float, default=0.5,
                       dest="heartbeat_interval",
                       help="seconds between heartbeat frames")
+    p_wd.add_argument("--drain-timeout", type=float, default=5.0,
+                      dest="drain_timeout",
+                      help="seconds granted to in-flight jobs to finish "
+                      "and ship their results on a clean stop")
     p_wd.add_argument("--no-perpetual", action="store_true",
                       help="task instances exit after one job instead of "
                       "welcoming the next worker")
@@ -398,6 +402,7 @@ def cmd_worker_daemon(args) -> int:
         capacity=args.capacity,
         perpetual=not args.no_perpetual,
         heartbeat_interval=args.heartbeat_interval,
+        drain_timeout=args.drain_timeout,
     )
     daemon.announce()
     try:

@@ -185,7 +185,11 @@ def validate_socket_engine(
     )
     predicted = {cat: run.breakdown.get(cat, 0.0) for cat in _CATEGORIES}
 
-    notes = []
+    notes = [
+        "note: master dispatch is a single-threaded selectors reactor — "
+        "wire time is multiplexed, never serialized behind a sleeping "
+        "retry or reconnect"
+    ]
     if result.reconnects:
         notes.append(
             f"note: {result.reconnects} reconnect(s) occurred — the "

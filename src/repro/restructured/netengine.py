@@ -11,6 +11,21 @@ pattern attributes, reachable by address exactly like a CONFIG
 the MANIFOLD master: it spawns or connects to daemons, ships job specs,
 and collects results — every byte crossing a real socket.
 
+Master threading model: **one thread, one selector**.  The master owns
+every daemon socket through a single :class:`selectors.DefaultSelector`
+reactor — non-blocking sockets with a stateful per-link
+:class:`_FrameDecoder` doing incremental frame decoding, a per-link
+write queue with partial-send handling, and a :class:`_TimerWheel` that
+schedules everything the thread-per-link predecessor used to block on:
+retry backoff, reconnect backoff, heartbeat-silence deadlines, per-job
+deadlines.  No code path on the dispatch loop ever calls
+``time.sleep``; its only blocking point is ``selector.select`` with the
+wheel's next due time as the timeout.  That is what lets one master
+hold dozens (or hundreds) of daemon links without a reader thread per
+link, and it removes a whole class of head-of-line stalls: one grid
+backing off, or one flapping daemon reconnecting, no longer freezes
+completion handling for every healthy daemon.
+
 Wire protocol: length-prefixed frames.  A frame is an 8-byte header
 (``RPRO`` magic + big-endian payload length) followed by the pickled
 ``(kind, data)`` body.  Kinds: ``hello``/``heartbeat``/``result``/
@@ -23,8 +38,8 @@ Failure model — composing with the resilience ladder of
 * a **dropped connection** (daemon killed, network reset, truncated
   frame) convicts every job in flight on that daemon as a ``crash``
   fault; the master reconnects (re-spawning a local daemon, or
-  re-dialing a remote one) with exponential backoff, recorded as a
-  ``reconnect`` trace event;
+  re-dialing a remote one) with timer-driven exponential backoff,
+  recorded as a ``reconnect`` trace event;
 * a **silent daemon** — no frame within ``heartbeat_timeout`` — is a
   ``hang``: the daemon is killed and replaced, its jobs re-dispatched;
 * a **per-job deadline** (cost-model-scaled) catches a wedged job on an
@@ -53,8 +68,11 @@ right after its first attach (:func:`_untrack_after_ship`).
 
 from __future__ import annotations
 
+import errno
+import heapq
 import os
 import pickle
+import selectors
 import socket
 import struct
 import subprocess
@@ -62,8 +80,7 @@ import sys
 import threading
 import time
 from collections import deque
-from dataclasses import dataclass, field
-from queue import Empty, Queue
+from dataclasses import dataclass
 from typing import Callable, Optional
 
 from .taskengine import TaskInstanceDied, TaskInstanceEngine
@@ -87,18 +104,24 @@ _HEADER = struct.Struct("!4sI")
 #: refuse to allocate absurd frames (a corrupted or hostile header)
 MAX_FRAME_BYTES = 1 << 30
 
+#: scheduling slack added to deadline timers so a conviction never
+#: lands a clock-granularity tick *before* its full window has elapsed
+_DEADLINE_GRACE = 0.005
+
 
 class FrameError(ConnectionError):
     """The framed stream broke: bad magic, truncation, oversize."""
 
 
 def _recv_exact(sock: socket.socket, n: int, *, at_boundary: bool) -> Optional[bytes]:
-    """Read exactly ``n`` bytes.
+    """Read exactly ``n`` bytes from a blocking socket.
 
     Returns ``None`` on a clean EOF at a frame boundary (the peer closed
     between frames); raises :class:`FrameError` on EOF mid-frame (the
     peer died with a frame in flight — e.g. a connection dropped during
-    a result transfer).
+    a result transfer).  The daemon side and the tests use this; the
+    master's reactor decodes incrementally through :class:`_FrameDecoder`
+    instead, because it must never block waiting for one peer.
     """
     chunks: list[bytes] = []
     remaining = n
@@ -151,6 +174,143 @@ def recv_frame(
     seconds = time.perf_counter() - t0
     kind, data = pickle.loads(body)
     return kind, data, _HEADER.size + length, seconds
+
+
+class _FrameDecoder:
+    """Stateful incremental decoder of one link's ``RPRO`` frame stream.
+
+    The reactor feeds it whatever ``recv`` returned; it hands back every
+    frame those bytes completed.  This replaces the blocking
+    ``_recv_exact`` on the master's hot path — the reactor never waits
+    for a specific peer's next byte, it consumes whatever any socket
+    offers.  A frame's ``seconds`` span from its header being parsed to
+    its body completing, the incremental analogue of the blocking body
+    transfer the threaded reader used to time.
+    """
+
+    __slots__ = ("_buf", "_body_len", "_body_t0")
+
+    def __init__(self) -> None:
+        self._buf = bytearray()
+        self._body_len: Optional[int] = None
+        self._body_t0 = 0.0
+
+    @property
+    def mid_frame(self) -> bool:
+        """True when an EOF now would truncate a frame in flight."""
+        return self._body_len is not None or bool(self._buf)
+
+    def describe_partial(self) -> str:
+        """How far into the current frame the stream broke."""
+        if self._body_len is not None:
+            return f"{len(self._buf)}/{self._body_len} body bytes"
+        return f"{len(self._buf)}/{_HEADER.size} header bytes"
+
+    def feed(self, data: bytes) -> list[tuple[str, object, int, float]]:
+        """Consume ``data``; return the ``(kind, data, bytes, seconds)``
+        frames it completed (possibly none, possibly several)."""
+        self._buf.extend(data)
+        frames: list[tuple[str, object, int, float]] = []
+        while True:
+            if self._body_len is None:
+                if len(self._buf) < _HEADER.size:
+                    break
+                magic, length = _HEADER.unpack(bytes(self._buf[: _HEADER.size]))
+                if magic != MAGIC:
+                    raise FrameError(f"bad frame magic {magic!r}")
+                if length > MAX_FRAME_BYTES:
+                    raise FrameError(f"frame of {length} bytes exceeds the cap")
+                del self._buf[: _HEADER.size]
+                self._body_len = length
+                self._body_t0 = time.perf_counter()
+            if len(self._buf) < self._body_len:
+                break
+            body = bytes(self._buf[: self._body_len])
+            del self._buf[: self._body_len]
+            nbytes = _HEADER.size + self._body_len
+            seconds = time.perf_counter() - self._body_t0
+            self._body_len = None
+            kind, payload = pickle.loads(body)
+            frames.append((kind, payload, nbytes, seconds))
+        return frames
+
+
+class _TimerWheel:
+    """The reactor's time source: a heap of ``(due, seq, callback)``.
+
+    Everything the thread-per-link engine used to ``time.sleep`` for —
+    retry backoff, reconnect backoff, heartbeat-silence deadlines,
+    per-job deadlines — becomes a scheduled callback here, so the
+    dispatch loop's only blocking point is ``selector.select`` with
+    :meth:`next_timeout` as its timeout.  Callbacks validate their
+    subject at fire time (epoch, pending identity, revive token)
+    instead of being cancelled, which keeps scheduling O(log n) with no
+    bookkeeping on the hot path.
+    """
+
+    def __init__(self, clock: Callable[[], float] = time.monotonic) -> None:
+        self.clock = clock
+        self._heap: list[tuple[float, int, Callable[[], None]]] = []
+        self._seq = 0
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def schedule(self, delay: float, callback: Callable[[], None]) -> None:
+        """Run ``callback`` on the reactor thread ``delay`` seconds on."""
+        self._seq += 1
+        heapq.heappush(
+            self._heap, (self.clock() + max(0.0, delay), self._seq, callback)
+        )
+
+    def next_timeout(self) -> Optional[float]:
+        """Seconds until the earliest timer, ``None`` on an empty wheel."""
+        if not self._heap:
+            return None
+        return max(0.0, self._heap[0][0] - self.clock())
+
+    def fire_due(self) -> int:
+        """Run every callback whose due time has passed; returns how many."""
+        fired = 0
+        while self._heap and self._heap[0][0] <= self.clock():
+            _, _, callback = heapq.heappop(self._heap)
+            callback()
+            fired += 1
+        return fired
+
+
+def arm_heartbeat_deadline(
+    timers: _TimerWheel,
+    link: "_DaemonLink",
+    timeout: float,
+    on_silent: Callable[["_DaemonLink"], None],
+) -> None:
+    """Watch one link for heartbeat silence on the reactor's timer wheel.
+
+    Re-arms itself at ``last_frame + timeout`` until either the link is
+    gone (death or replacement disarms it through the epoch guard), or
+    the deadline passes with jobs in flight — then ``on_silent(link)``
+    convicts it.  A silent link with nothing in flight is left alone
+    (an idle daemon owes no result) and simply re-checked a timeout
+    later.  Single-threaded by construction: ``last_frame`` is written
+    by the same reactor thread that reads it here, so the cross-thread
+    race of the reader-thread model cannot exist.
+    """
+    epoch = link.epoch
+
+    def fire() -> None:
+        if not link.alive or link.epoch != epoch:
+            return
+        now = timers.clock()
+        deadline = link.last_frame + timeout
+        if now < deadline:
+            timers.schedule(deadline - now + _DEADLINE_GRACE, fire)
+        elif link.inflight:
+            on_silent(link)
+        else:
+            timers.schedule(timeout + _DEADLINE_GRACE, fire)
+
+    timers.schedule(timeout + _DEADLINE_GRACE, fire)
 
 
 # ----------------------------------------------------------------------
@@ -264,7 +424,10 @@ class WorkerDaemon:
     ``perpetual`` keeps an emptied instance alive to welcome the next
     worker.  One master connection is served at a time; after a
     disconnect the daemon returns to ``accept`` so a reconnecting
-    master finds it again.
+    master finds it again.  A ``stop`` frame is a *clean* shutdown:
+    in-flight jobs get ``drain_timeout`` seconds to finish and send
+    their results before the connection closes, instead of being
+    silently dropped mid-compute.
 
     Fault injection happens *here*, where the paper's faults happen —
     on the worker machine: a matched ``crash`` rule kills the whole
@@ -281,11 +444,13 @@ class WorkerDaemon:
         capacity: int = 1,
         perpetual: bool = True,
         heartbeat_interval: float = 0.5,
+        drain_timeout: float = 5.0,
     ) -> None:
         if capacity < 1:
             raise ValueError(f"capacity must be >= 1, got {capacity}")
         self.capacity = capacity
         self.heartbeat_interval = heartbeat_interval
+        self.drain_timeout = drain_timeout
         self._listener = socket.create_server((host, port))
         self.address = self._listener.getsockname()[:2]
         self._engine = TaskInstanceEngine(
@@ -293,6 +458,8 @@ class WorkerDaemon:
         )
         self._stop = threading.Event()
         self._send_lock = threading.Lock()
+        self._jobs_lock = threading.Lock()
+        self._job_threads: list[threading.Thread] = []
         self._untracked: set = set()
         self.jobs_served = 0
         #: chaos hook (tests only): keys whose first result frame is
@@ -355,15 +522,38 @@ class WorkerDaemon:
                 kind, data, _, _ = frame
                 if kind == "stop":
                     self._stop.set()
+                    self._drain_jobs()
                     return
                 if kind == "job":
-                    threading.Thread(
+                    thread = threading.Thread(
                         target=self._run_job, args=(conn, data), daemon=True
-                    ).start()
+                    )
+                    with self._jobs_lock:
+                        self._job_threads = [
+                            t for t in self._job_threads if t.is_alive()
+                        ]
+                        self._job_threads.append(thread)
+                    thread.start()
                 # unknown kinds are ignored: forward compatibility
         finally:
             beat_stop.set()
             beat.join(timeout=1.0)
+
+    def _drain_jobs(self) -> None:
+        """Give in-flight job threads ``drain_timeout`` seconds, total,
+        to finish and send their results over the still-open connection.
+
+        Without this, a ``stop`` frame abandoned whatever ``_run_job``
+        threads were computing: the connection closed under them and
+        their finished results went nowhere.
+        """
+        deadline = time.monotonic() + self.drain_timeout
+        with self._jobs_lock:
+            threads = [t for t in self._job_threads if t.is_alive()]
+        for thread in threads:
+            thread.join(timeout=max(0.0, deadline - time.monotonic()))
+        with self._jobs_lock:
+            self._job_threads = [t for t in self._job_threads if t.is_alive()]
 
     def _heartbeat_loop(self, conn: socket.socket, stop: threading.Event) -> None:
         while not stop.wait(self.heartbeat_interval):
@@ -484,8 +674,28 @@ class _NetPending:
     lease: Optional[object] = None
 
 
+class _OutFrame:
+    """One queued outgoing frame with partial-send progress."""
+
+    __slots__ = ("view", "offset", "kind", "key", "nbytes", "seconds")
+
+    def __init__(self, frame: bytes, kind: str, key=None) -> None:
+        self.view = memoryview(frame)
+        self.offset = 0
+        self.kind = kind
+        self.key = key
+        self.nbytes = len(frame)
+        self.seconds = 0.0
+
+    @property
+    def done(self) -> bool:
+        return self.offset >= self.nbytes
+
+
 class _DaemonLink:
-    """One daemon as the master sees it: socket, reader, slots."""
+    """One daemon as the master sees it: a non-blocking socket plus the
+    reactor-side receive/send/reconnect state.  No reader thread: the
+    engine's selector loop is the only thing that ever touches this."""
 
     def __init__(
         self,
@@ -500,17 +710,30 @@ class _DaemonLink:
         self.address = address          # dial target for connect mode
         self.sock: Optional[socket.socket] = None
         self.proc: Optional[subprocess.Popen] = None
-        self.reader: Optional[threading.Thread] = None
         self.capacity = 0               # learned from the hello frame
         self.pid: Optional[int] = None
         self.inflight: dict[tuple[int, int], _NetPending] = {}
         self.last_frame = time.monotonic()
         self.alive = False
         self.reconnects = 0
-        #: bumped on every (re)attach; events from an older epoch's
-        #: reader are void — a dead connection's last gasp must not
+        #: bumped on every (re)attach; heartbeat watches from an older
+        #: epoch are void — a dead connection's deadline must not
         #: convict its successor
         self.epoch = 0
+        # reactor-side receive/send state
+        self.decoder = _FrameDecoder()
+        self.sendq: deque[_OutFrame] = deque()
+        self.events_mask = 0            # current selector registration
+        # the timer-driven reconnect state machine (see run())
+        self.reviving = False
+        self.revive_reason = ""
+        self.revive_t0 = 0.0
+        #: bumped per revive attempt and on attach/detach; a timer fired
+        #: for a stale token is a no-op (timers are never cancelled)
+        self.revive_token = 0
+        self.spawn_fd: Optional[int] = None
+        self.spawn_buf = b""
+        self.spawn_tail: deque = deque(maxlen=8)
 
     @property
     def free_slots(self) -> int:
@@ -542,6 +765,13 @@ class SocketTaskEngine:
     ``hosts`` is a spec string (see :func:`parse_hosts`) or a sequence
     of :class:`HostSpec`.  Spawned daemons are private to this engine
     and torn down by :meth:`close`; dialed daemons are left running.
+
+    The engine is a single-threaded reactor: every daemon socket is
+    non-blocking and owned by one ``selectors.DefaultSelector``, so the
+    master's thread count stays O(1) however many links it holds.
+    ``poll_interval`` is kept as the idle-select fallback for an empty
+    timer wheel; with the wheel armed (always, once a link is alive) it
+    is effectively unused.
     """
 
     def __init__(
@@ -566,7 +796,7 @@ class SocketTaskEngine:
         self.reconnect_backoff = reconnect_backoff
         self.max_reconnects = max_reconnects
         self.poll_interval = poll_interval
-        self._events: Queue = Queue()
+        self._selector = selectors.DefaultSelector()
         self._closed = False
         self.reconnects = 0
         self.bytes_sent = 0
@@ -581,7 +811,10 @@ class SocketTaskEngine:
                 if spec.local:
                     for _ in range(spec.spawn):
                         link = _DaemonLink(f"daemon-{index}", spawned=True)
-                        self._spawn(link)
+                        # launch first, handshake below: the daemons
+                        # boot concurrently, so spawning 32 links costs
+                        # one import wave, not 32 sequential ones
+                        link.proc = self._launch()
                         self.links.append(link)
                         index += 1
                 else:
@@ -590,9 +823,14 @@ class SocketTaskEngine:
                         spawned=False,
                         address=(spec.host, spec.port),
                     )
-                    self._dial(link)
                     self.links.append(link)
                     index += 1
+            for link in self.links:
+                if link.spawned:
+                    port = self._await_listening(link)
+                    self._attach(link, ("127.0.0.1", port))
+                else:
+                    self._attach(link, link.address)
         except Exception:
             self.close()
             raise
@@ -601,80 +839,91 @@ class SocketTaskEngine:
     # ------------------------------------------------------------------
     # link lifecycle
     # ------------------------------------------------------------------
-    def _spawn(self, link: _DaemonLink) -> None:
-        """Fork a loopback daemon and connect to its announced port."""
+    def _launch(self) -> subprocess.Popen:
+        """Fork one loopback daemon; returns before it announces."""
         cmd = [
             sys.executable, "-m", "repro", "worker-daemon",
             "--port", "0",
             "--capacity", "1",
             "--heartbeat-interval", str(self.daemon_heartbeat_interval),
         ]
-        proc = subprocess.Popen(
+        return subprocess.Popen(
             cmd,
             stdout=subprocess.PIPE,
             stderr=subprocess.STDOUT,
-            text=True,
         )
-        port = None
+
+    def _await_listening(self, link: _DaemonLink) -> int:
+        """Block until the spawned daemon announces its port (init-time
+        only; revive-time spawns handshake through the selector)."""
+        proc = link.proc
         tail: deque[str] = deque(maxlen=8)
         while True:
             line = proc.stdout.readline()
             if not line:
                 break
-            tail.append(line.rstrip())
-            if line.startswith("LISTENING "):
-                port = int(line.split()[1])
-                break
-        if port is None:
+            text = line.decode(errors="replace").rstrip()
+            tail.append(text)
+            if text.startswith("LISTENING "):
+                return int(text.split()[1])
+        try:
             proc.wait(timeout=5.0)
-            raise RuntimeError(
-                f"{link.name} failed to start: " + " | ".join(tail)
-            )
-        link.proc = proc
-        self._attach(link, ("127.0.0.1", port))
-
-    def _dial(self, link: _DaemonLink) -> None:
-        self._attach(link, link.address)
+        except subprocess.TimeoutExpired:  # pragma: no cover - defensive
+            proc.kill()
+            proc.wait(timeout=5.0)
+        raise RuntimeError(
+            f"{link.name} failed to start: " + " | ".join(tail)
+        )
 
     def _attach(self, link: _DaemonLink, address: tuple[str, int]) -> None:
-        """Connect the socket and start the link's reader thread."""
+        """Connect (blocking; init-time only) and adopt the socket."""
         sock = socket.create_connection(address, timeout=self.connect_timeout)
-        sock.settimeout(None)
+        self._adopt(link, sock)
+
+    def _adopt(self, link: _DaemonLink, sock: socket.socket) -> None:
+        """Take a connected socket as the link's live connection: make
+        it non-blocking, reset the per-link receive/send state, and
+        hand it to the selector."""
+        sock.setblocking(False)
         link.sock = sock
         link.alive = True
+        link.capacity = 0  # (re)learned from the fresh hello
         link.last_frame = time.monotonic()
         link.epoch += 1
-        link.reader = threading.Thread(
-            target=self._read_loop, args=(link, sock, link.epoch), daemon=True
-        )
-        link.reader.start()
+        link.revive_token += 1
+        link.reviving = False
+        link.decoder = _FrameDecoder()
+        link.sendq.clear()
+        self._register(sock, selectors.EVENT_READ, ("io", link))
+        link.events_mask = selectors.EVENT_READ
 
-    def _read_loop(
-        self, link: _DaemonLink, sock: socket.socket, epoch: int
-    ) -> None:
+    def _register(self, fileobj, events, data) -> None:
         try:
-            while True:
-                frame = recv_frame(sock)
-                link.last_frame = time.monotonic()
-                self._events.put((link, epoch, frame))
-                if frame is None:
-                    return
-        except (FrameError, OSError) as exc:
-            self._events.put(
-                (link, epoch, ("__lost__", {"error": repr(exc)}, 0, 0.0))
-            )
+            self._selector.register(fileobj, events, data)
+        except KeyError:  # pragma: no cover - defensive re-register
+            self._selector.modify(fileobj, events, data)
+
+    def _unregister(self, fileobj) -> None:
+        try:
+            self._selector.unregister(fileobj)
+        except (KeyError, ValueError):
+            pass  # not registered, or the selector is already closed
 
     def _detach(self, link: _DaemonLink) -> None:
-        """Tear the link's socket/process down (writer guaranteed dead
-        afterwards, so its leases are safe to reclaim)."""
+        """Tear down everything the link holds — socket, queued writes,
+        half-done reconnect, daemon process.  No reader thread to join:
+        the reactor was the only reader, and it is the caller."""
         link.alive = False
+        link.reviving = False
+        link.revive_token += 1
+        link.sendq.clear()
+        link.events_mask = 0
         if link.sock is not None:
-            # shutdown before close: the link's reader thread is blocked
-            # in recv() on this fd, and close() alone would leave the
-            # file description pinned by that syscall — no FIN reaches
-            # the daemon (a dialed one would keep serving a dead
-            # connection and never return to accept) and the reader
-            # never wakes.  shutdown() does both deterministically.
+            self._unregister(link.sock)
+            # shutdown before close: deterministically sends the FIN/RST
+            # whatever state the connection is in, so a dialed daemon's
+            # serve loop (blocked in recv on its end) wakes and returns
+            # to accept instead of serving a dead connection
             try:
                 link.sock.shutdown(socket.SHUT_RDWR)
             except OSError:
@@ -684,6 +933,10 @@ class SocketTaskEngine:
             except OSError:  # pragma: no cover - defensive
                 pass
             link.sock = None
+        if link.spawn_fd is not None:
+            self._unregister(link.spawn_fd)
+            link.spawn_fd = None
+            link.spawn_buf = b""
         if link.proc is not None:
             if link.proc.poll() is None:
                 link.proc.kill()
@@ -694,37 +947,6 @@ class SocketTaskEngine:
             if link.proc.stdout is not None:
                 link.proc.stdout.close()
             link.proc = None
-        if link.reader is not None:
-            link.reader.join(timeout=2.0)
-            link.reader = None
-
-    def _revive(self, link: _DaemonLink, *, reason: str) -> bool:
-        """Reconnect (or respawn) a lost daemon with exponential backoff;
-        ``False`` once its reconnect budget is spent."""
-        if self._closed or link.reconnects >= self.max_reconnects:
-            return False
-        link.reconnects += 1
-        self.reconnects += 1
-        backoff = self.reconnect_backoff * (2 ** (link.reconnects - 1))
-        t0 = time.perf_counter()
-        time.sleep(backoff)
-        try:
-            if link.spawned:
-                self._spawn(link)
-            else:
-                self._dial(link)
-        except (OSError, RuntimeError):
-            return self._revive(link, reason=reason)
-        link.capacity = 0  # re-learned from the fresh hello
-        if self.trace is not None:
-            self.trace.record(
-                "reconnect",
-                worker=link.name,
-                attempt=link.reconnects,
-                reason=reason,
-                seconds=time.perf_counter() - t0,
-            )
-        return True
 
     @property
     def total_capacity(self) -> int:
@@ -741,10 +963,13 @@ class SocketTaskEngine:
         for link in self.links:
             if link.alive and link.sock is not None:
                 try:
+                    link.sock.setblocking(True)
+                    link.sock.settimeout(2.0)
                     send_frame(link.sock, "stop", {})
                 except (FrameError, OSError):
                     pass
             self._detach(link)
+        self._selector.close()
 
     def __enter__(self) -> "SocketTaskEngine":
         return self
@@ -753,7 +978,7 @@ class SocketTaskEngine:
         self.close()
 
     # ------------------------------------------------------------------
-    # the dispatch loop
+    # the dispatch reactor
     # ------------------------------------------------------------------
     def run(
         self,
@@ -772,7 +997,11 @@ class SocketTaskEngine:
         Mirrors the fork-pool resilient loop: per-job deadlines, fault
         escalation, idempotent completion keyed ``(l, m)`` — with the
         detection channels of a network: connection loss and heartbeat
-        silence instead of PID liveness.
+        silence instead of PID liveness.  The loop is a single-threaded
+        selectors reactor: reads, writes, retries, reconnects and every
+        deadline all multiplex through one ``select``, so a fault or a
+        flapping daemon on one link never blocks completion handling on
+        another.
         """
         from repro.resilience import (
             EscalationStep,
@@ -793,6 +1022,11 @@ class SocketTaskEngine:
         recovered_keys: list[tuple[int, int]] = []
         fallback_keys: list[tuple[int, int]] = []
         attempts = 0
+        #: jobs parked on a retry-backoff timer: neither pending nor
+        #: ready, but the run is not done until they re-enter the queue
+        backoff_waiting = 0
+        timers = _TimerWheel()
+        clock = timers.clock
 
         def predicted(spec: SubsolveJobSpec) -> Optional[float]:
             if cost_model is None:
@@ -811,6 +1045,65 @@ class SocketTaskEngine:
                     kind, key=key, frame_bytes=nbytes, seconds=seconds, **extra
                 )
 
+        # ------------------------------------------------------------------
+        # the write side: per-link queues with partial-send handling
+        # ------------------------------------------------------------------
+        def update_write_interest(link: _DaemonLink) -> None:
+            if link.sock is None or not link.alive:
+                return
+            mask = selectors.EVENT_READ | (
+                selectors.EVENT_WRITE if link.sendq else 0
+            )
+            if mask != link.events_mask:
+                self._selector.modify(link.sock, mask, ("io", link))
+                link.events_mask = mask
+
+        def flush_sendq(link: _DaemonLink) -> bool:
+            """Drain the link's write queue as far as the socket buffer
+            allows; ``False`` when the connection broke under it (the
+            link is already lost and its jobs re-routed)."""
+            while link.sendq and link.alive:
+                out = link.sendq[0]
+                t0 = time.perf_counter()
+                try:
+                    sent = link.sock.send(out.view[out.offset :])
+                except (BlockingIOError, InterruptedError):
+                    break
+                except OSError as exc:
+                    lose_link(
+                        link,
+                        kind="crash",
+                        detected_by="connection",
+                        error=repr(exc),
+                    )
+                    return False
+                out.seconds += time.perf_counter() - t0
+                if sent == 0:  # pragma: no cover - defensive
+                    break
+                out.offset += sent
+                if out.done:
+                    link.sendq.popleft()
+                    if out.kind == "job":
+                        record_net(
+                            "net_send",
+                            out.key,
+                            out.nbytes,
+                            out.seconds,
+                            frame_kind="job",
+                        )
+            update_write_interest(link)
+            return True
+
+        def queue_frame(link: _DaemonLink, kind: str, data: object, key=None) -> bool:
+            body = pickle.dumps((kind, data), protocol=pickle.HIGHEST_PROTOCOL)
+            link.sendq.append(
+                _OutFrame(_HEADER.pack(MAGIC, len(body)) + body, kind, key)
+            )
+            return flush_sendq(link)
+
+        # ------------------------------------------------------------------
+        # dispatch and completion
+        # ------------------------------------------------------------------
         def submit(spec: SubsolveJobSpec, attempt: int, link: _DaemonLink) -> bool:
             nonlocal attempts
             key = (spec.l, spec.m)
@@ -819,33 +1112,9 @@ class SocketTaskEngine:
                 if sink is not None and link.shm_ok
                 else None
             )
-            try:
-                nbytes, seconds = send_frame(link.sock, "job", {
-                    "spec": spec,
-                    "plan": plan,
-                    "attempt": attempt,
-                    "use_cache": use_cache,
-                    "lease": lease,
-                })
-            except (FrameError, OSError) as exc:
-                if lease is not None:
-                    sink.plane.revoke(lease.name, reason="send-failed")
-                ready.appendleft((spec, attempt))
-                lose_link(
-                    link,
-                    kind="crash",
-                    detected_by="connection",
-                    error=repr(exc),
-                )
-                return False
             attempts += 1
-            now = time.monotonic()
-            if trace is not None:
-                trace.record(
-                    "job_submit", key=key, worker=link.name, attempt=attempt
-                )
-            record_net("net_send", key, nbytes, seconds, frame_kind="job")
-            pending[key] = _NetPending(
+            now = clock()
+            job = _NetPending(
                 spec=spec,
                 attempt=attempt,
                 link=link,
@@ -853,7 +1122,24 @@ class SocketTaskEngine:
                 submitted_at=now,
                 lease=lease,
             )
-            link.inflight[key] = pending[key]
+            pending[key] = job
+            link.inflight[key] = job
+            if trace is not None:
+                trace.record(
+                    "job_submit", key=key, worker=link.name, attempt=attempt
+                )
+            # registered *before* the queue flush: if the send trips over
+            # a dead socket, lose_link convicts and re-routes this job
+            # along with the rest of the link's in-flight work
+            if not queue_frame(link, "job", {
+                "spec": spec,
+                "plan": plan,
+                "attempt": attempt,
+                "use_cache": use_cache,
+                "lease": lease,
+            }, key=key):
+                return False
+            arm_job_deadline(key, job)
             return True
 
         def dispatch_ready() -> None:
@@ -912,6 +1198,7 @@ class SocketTaskEngine:
             raise FaultToleranceExhausted(report) from cause
 
         def handle_fault(key, kind: str, detected_by: str, error: str = "") -> None:
+            nonlocal backoff_waiting
             job = pending.pop(key)
             job.link.inflight.pop(key, None)
             if sink is not None and job.lease is not None:
@@ -928,18 +1215,31 @@ class SocketTaskEngine:
                 action=step.value,
                 detected_by=detected_by,
                 error=error,
-                seconds_lost=time.monotonic() - job.submitted_at,
+                seconds_lost=clock() - job.submitted_at,
             )
             log.record(event)
             if trace is not None:
                 trace.record_fault(event)
             if step in (EscalationStep.RETRY, EscalationStep.REASSIGN):
-                time.sleep(retry.delay_seconds(job.attempt, key))
-                if trace is not None:
-                    trace.record(
-                        "retry", key=key, attempt=job.attempt + 1, cause=kind
-                    )
-                ready.appendleft((job.spec, job.attempt + 1))
+                # timer-scheduled, never slept: the reactor keeps serving
+                # every other link's frames while this grid backs off
+                delay = retry.delay_seconds(job.attempt, key)
+                backoff_waiting += 1
+
+                def requeue(job=job, key=key, kind=kind, delay=delay) -> None:
+                    nonlocal backoff_waiting
+                    backoff_waiting -= 1
+                    if trace is not None:
+                        trace.record(
+                            "retry",
+                            key=key,
+                            attempt=job.attempt + 1,
+                            cause=kind,
+                            backoff_seconds=delay,
+                        )
+                    ready.appendleft((job.spec, job.attempt + 1))
+
+                timers.schedule(delay, requeue)
             elif step is EscalationStep.FALLBACK:
                 # graceful degradation: the master computes the grid
                 # itself, sequentially and without injection; never
@@ -987,7 +1287,7 @@ class SocketTaskEngine:
         ) -> None:
             """A daemon died, went silent, or wedged one job: kill it,
             fault the culprit (or everything in flight), re-queue the
-            collateral at its same attempt, then revive the daemon."""
+            collateral at its same attempt, then schedule its revival."""
             if not link.alive:
                 return
             self._detach(link)
@@ -1004,39 +1304,208 @@ class SocketTaskEngine:
                         sink.plane.revoke(job.lease.name, reason="collateral")
                     ready.appendleft((job.spec, job.attempt))
             link.inflight.clear()
-            if not self._revive(link, reason=kind):
-                if not any(l.alive for l in self.links) and (pending or ready):
-                    fail_run(
-                        RuntimeError(
-                            "every worker daemon is lost and out of "
-                            "reconnect budget"
-                        )
-                    )
+            schedule_revive(link, reason=kind)
 
-        def handle_event(link: _DaemonLink, epoch: int, frame) -> None:
-            if epoch != link.epoch:
-                # the last gasp of a connection already replaced (its
-                # reader racing the revive): whatever it says — EOF,
-                # error, even a late result — the daemon it speaks for
-                # was already declared dead and its jobs re-dispatched
+        # ------------------------------------------------------------------
+        # the timer-driven reconnect state machine — the iterative
+        # replacement for _revive's blocking sleep + self-recursion
+        # ------------------------------------------------------------------
+        def schedule_revive(link: _DaemonLink, reason: str) -> None:
+            """Arm the next reconnect attempt's backoff timer; a spent
+            budget leaves the link permanently dead (the loop-top guard
+            fails the run once no link is alive or reviving)."""
+            if self._closed or link.reconnects >= self.max_reconnects:
+                link.reviving = False
+                link.revive_token += 1
                 return
-            if frame is None:
-                lose_link(
-                    link,
-                    kind="crash",
-                    detected_by="connection",
-                    error="daemon closed the connection",
+            link.reconnects += 1
+            self.reconnects += 1
+            link.reviving = True
+            link.revive_reason = reason
+            link.revive_t0 = time.perf_counter()
+            link.revive_token += 1
+            token = link.revive_token
+            backoff = self.reconnect_backoff * (2 ** (link.reconnects - 1))
+            timers.schedule(backoff, lambda: begin_revive(link, token))
+
+        def begin_revive(link: _DaemonLink, token: int) -> None:
+            if link.revive_token != token or not link.reviving or self._closed:
+                return
+            if link.spawned:
+                try:
+                    link.proc = self._launch()
+                except OSError as exc:
+                    abort_revive_attempt(link)
+                    schedule_revive(link, link.revive_reason)
+                    return
+                fd = link.proc.stdout.fileno()
+                os.set_blocking(fd, False)
+                link.spawn_fd = fd
+                link.spawn_buf = b""
+                link.spawn_tail.clear()
+                self._register(fd, selectors.EVENT_READ, ("spawn", link))
+                timers.schedule(
+                    self.connect_timeout, lambda: revive_timed_out(link, token)
                 )
+            else:
+                begin_connect(link, link.address, token)
+
+        def begin_connect(
+            link: _DaemonLink, address: tuple[str, int], token: int
+        ) -> None:
+            sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+            sock.setblocking(False)
+            err = sock.connect_ex(address)
+            if err not in (0, errno.EINPROGRESS, errno.EWOULDBLOCK, errno.EALREADY):
+                try:
+                    sock.close()
+                except OSError:  # pragma: no cover - defensive
+                    pass
+                abort_revive_attempt(link)
+                schedule_revive(link, link.revive_reason)
                 return
-            kind, data, nbytes, seconds = frame
-            if kind == "__lost__":
-                lose_link(
-                    link,
-                    kind="crash",
-                    detected_by="connection",
-                    error=data["error"],
+            link.sock = sock  # held for cleanup; the link is not alive yet
+            self._register(sock, selectors.EVENT_WRITE, ("connect", link))
+            timers.schedule(
+                self.connect_timeout, lambda: revive_timed_out(link, token)
+            )
+
+        def abort_revive_attempt(link: _DaemonLink) -> None:
+            """Release whatever this attempt half-built (connecting
+            socket, spawn pipe, daemon process)."""
+            if link.sock is not None:
+                self._unregister(link.sock)
+                try:
+                    link.sock.close()
+                except OSError:  # pragma: no cover - defensive
+                    pass
+                link.sock = None
+            if link.spawn_fd is not None:
+                self._unregister(link.spawn_fd)
+                link.spawn_fd = None
+                link.spawn_buf = b""
+            if link.proc is not None:
+                if link.proc.poll() is None:
+                    link.proc.kill()
+                try:
+                    link.proc.wait(timeout=5.0)
+                except subprocess.TimeoutExpired:  # pragma: no cover
+                    pass
+                if link.proc.stdout is not None:
+                    link.proc.stdout.close()
+                link.proc = None
+
+        def revive_timed_out(link: _DaemonLink, token: int) -> None:
+            if link.revive_token != token or not link.reviving:
+                return
+            abort_revive_attempt(link)
+            schedule_revive(link, link.revive_reason)
+
+        def on_spawn_output(link: _DaemonLink) -> None:
+            """Collect the reviving daemon's stdout until it announces
+            its port (the async version of _await_listening)."""
+            if link.spawn_fd is None or not link.reviving:
+                return
+            try:
+                chunk = os.read(link.spawn_fd, 4096)
+            except (BlockingIOError, InterruptedError):
+                return
+            except OSError:
+                chunk = b""
+            if not chunk:
+                # EOF before LISTENING: the daemon died on startup
+                abort_revive_attempt(link)
+                schedule_revive(link, link.revive_reason)
+                return
+            link.spawn_buf += chunk
+            while b"\n" in link.spawn_buf:
+                line, _, link.spawn_buf = link.spawn_buf.partition(b"\n")
+                text = line.decode(errors="replace").rstrip()
+                link.spawn_tail.append(text)
+                if text.startswith("LISTENING "):
+                    self._unregister(link.spawn_fd)
+                    link.spawn_fd = None
+                    begin_connect(
+                        link,
+                        ("127.0.0.1", int(text.split()[1])),
+                        link.revive_token,
+                    )
+                    return
+
+        def on_connect_ready(link: _DaemonLink) -> None:
+            sock = link.sock
+            if sock is None or not link.reviving:
+                return
+            err = sock.getsockopt(socket.SOL_SOCKET, socket.SO_ERROR)
+            self._unregister(sock)
+            if err != 0:
+                try:
+                    sock.close()
+                except OSError:  # pragma: no cover - defensive
+                    pass
+                link.sock = None
+                schedule_revive(link, link.revive_reason)
+                return
+            finish_revive(link, sock)
+
+        def finish_revive(link: _DaemonLink, sock: socket.socket) -> None:
+            reason = link.revive_reason
+            attempt = link.reconnects
+            t0 = link.revive_t0
+            link.sock = None  # _adopt re-takes it with fresh state
+            self._adopt(link, sock)
+            arm_heartbeat(link)
+            if trace is not None:
+                trace.record(
+                    "reconnect",
+                    worker=link.name,
+                    attempt=attempt,
+                    reason=reason,
+                    seconds=time.perf_counter() - t0,
                 )
-                return
+
+        # ------------------------------------------------------------------
+        # deadlines on the wheel
+        # ------------------------------------------------------------------
+        def on_silent(link: _DaemonLink) -> None:
+            lose_link(
+                link,
+                kind="hang",
+                detected_by="heartbeat",
+                error=(
+                    f"no frame from {link.name} within "
+                    f"{self.heartbeat_timeout:.1f}s"
+                ),
+            )
+
+        def arm_heartbeat(link: _DaemonLink) -> None:
+            arm_heartbeat_deadline(
+                timers, link, self.heartbeat_timeout, on_silent
+            )
+
+        def arm_job_deadline(key, job: _NetPending) -> None:
+            def fire() -> None:
+                if pending.get(key) is not job:
+                    return  # completed, faulted, or re-dispatched already
+                lose_link(
+                    job.link,
+                    kind="deadline",
+                    detected_by="deadline",
+                    error=(
+                        f"no result within "
+                        f"{job.deadline_at - job.submitted_at:.2f}s"
+                    ),
+                    culprit=key,
+                )
+
+            timers.schedule(job.deadline_at - clock() + _DEADLINE_GRACE, fire)
+
+        # ------------------------------------------------------------------
+        # the read side
+        # ------------------------------------------------------------------
+        def handle_frame(
+            link: _DaemonLink, kind: str, data, nbytes: int, seconds: float
+        ) -> None:
             if kind == "hello":
                 link.capacity = int(data["capacity"])
                 link.pid = data.get("pid")
@@ -1046,7 +1515,7 @@ class SocketTaskEngine:
                     )
                 return
             if kind == "heartbeat":
-                return  # last_frame was already bumped by the reader
+                return  # last_frame was already bumped by on_readable
             if kind == "result":
                 key = tuple(data["key"])
                 record_net(
@@ -1067,56 +1536,95 @@ class SocketTaskEngine:
                         detected_by="daemon",
                         error=data.get("error", ""),
                     )
+            # unknown kinds are ignored: forward compatibility
 
-        while pending or ready:
-            if not any(l.alive for l in self.links):
-                fail_run(RuntimeError("no worker daemon is alive"))
-            dispatch_ready()
+        def on_readable(link: _DaemonLink) -> None:
+            if not link.alive or link.sock is None:
+                return
             try:
-                link, epoch, frame = self._events.get(
-                    timeout=self.poll_interval
-                )
-            except Empty:
-                pass
-            else:
-                handle_event(link, epoch, frame)
-                while True:  # drain without blocking
-                    try:
-                        link, epoch, frame = self._events.get_nowait()
-                    except Empty:
-                        break
-                    handle_event(link, epoch, frame)
-            now = time.monotonic()
-            for link in self.links:
-                if (
-                    link.alive
-                    and link.inflight
-                    and now - link.last_frame > self.heartbeat_timeout
-                ):
-                    lose_link(
-                        link,
-                        kind="hang",
-                        detected_by="heartbeat",
-                        error=(
-                            f"no frame from {link.name} within "
-                            f"{self.heartbeat_timeout:.1f}s"
-                        ),
-                    )
-            now = time.monotonic()
-            for key in list(pending):
-                job = pending.get(key)
-                if job is None or now < job.deadline_at:
-                    continue
+                data = link.sock.recv(1 << 20)
+            except (BlockingIOError, InterruptedError):
+                return
+            except OSError as exc:
                 lose_link(
-                    job.link,
-                    kind="deadline",
-                    detected_by="deadline",
-                    error=(
-                        f"no result within "
-                        f"{job.deadline_at - job.submitted_at:.2f}s"
-                    ),
-                    culprit=key,
+                    link,
+                    kind="crash",
+                    detected_by="connection",
+                    error=repr(exc),
                 )
+                return
+            if not data:
+                error = (
+                    "connection closed mid-frame "
+                    f"({link.decoder.describe_partial()})"
+                    if link.decoder.mid_frame
+                    else "daemon closed the connection"
+                )
+                lose_link(
+                    link, kind="crash", detected_by="connection", error=error
+                )
+                return
+            link.last_frame = clock()
+            try:
+                frames = link.decoder.feed(data)
+            except FrameError as exc:
+                lose_link(
+                    link,
+                    kind="crash",
+                    detected_by="connection",
+                    error=repr(exc),
+                )
+                return
+            for kind, payload, nbytes, seconds in frames:
+                handle_frame(link, kind, payload, nbytes, seconds)
+                if not link.alive:
+                    break  # a handler convicted the link mid-batch
+
+        def on_io(link: _DaemonLink, mask: int) -> None:
+            if mask & selectors.EVENT_READ:
+                on_readable(link)
+            if link.alive and (mask & selectors.EVENT_WRITE):
+                flush_sendq(link)
+
+        # ------------------------------------------------------------------
+        # the loop
+        # ------------------------------------------------------------------
+        for link in self.links:
+            if link.alive:
+                arm_heartbeat(link)
+
+        # the loop also drains in-progress revives: the outcome's
+        # reconnect count must describe daemons that actually came back
+        # (and traced their ``reconnect`` event), same as the threaded
+        # engine whose inline revive always completed before returning
+        while (
+            pending
+            or ready
+            or backoff_waiting
+            or any(l.reviving for l in self.links)
+        ):
+            if not any(l.alive or l.reviving for l in self.links):
+                fail_run(
+                    RuntimeError(
+                        "every worker daemon is lost and out of "
+                        "reconnect budget"
+                        if self.reconnects
+                        else "no worker daemon is alive"
+                    )
+                )
+            dispatch_ready()
+            timeout = timers.next_timeout()
+            if timeout is None:  # pragma: no cover - wheel is never empty
+                timeout = self.poll_interval
+            for sel_key, mask in self._selector.select(timeout):
+                tag, link = sel_key.data
+                if tag == "io":
+                    on_io(link, mask)
+                elif tag == "connect":
+                    on_connect_ready(link)
+                elif tag == "spawn":
+                    on_spawn_output(link)
+            timers.fire_due()
 
         return NetOutcome(
             payloads=completed,

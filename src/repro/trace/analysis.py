@@ -203,6 +203,20 @@ class TraceAnalysis:
         return sum(1 for e in self.events if e.kind == "retry")
 
     @property
+    def retry_backoff_seconds(self) -> float:
+        """Total retry backoff the run waited through.
+
+        On the reactor engine this is *parked* time, not stalled time:
+        the faulted grid sits on a timer while every healthy link keeps
+        completing, so none of it is attributable to other workers.
+        """
+        return sum(
+            float(e.data.get("backoff_seconds", 0.0))
+            for e in self.events
+            if e.kind == "retry"
+        )
+
+    @property
     def n_respawns(self) -> int:
         return sum(1 for e in self.events if e.kind == "respawn")
 
@@ -456,6 +470,11 @@ class TraceAnalysis:
                 f"({self.fault_seconds_lost:.3f}s lost + "
                 f"{self.replay_compute_seconds:.3f}s replayed)"
             )
+            if self.retry_backoff_seconds:
+                lines.append(
+                    f"  retry backoff: {self.retry_backoff_seconds:.3f}s "
+                    f"parked on timers (healthy links kept completing)"
+                )
         if self.n_shm_payloads:
             lines.append(
                 f"data plane: {self.n_shm_payloads} shm payloads, "

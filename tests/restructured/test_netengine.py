@@ -10,8 +10,11 @@ and every recovery is visible in both the FaultReport and the trace.
 
 from __future__ import annotations
 
+import pickle
 import socket
+import struct
 import threading
+import time
 import warnings
 
 import numpy as np
@@ -24,8 +27,13 @@ from repro.restructured import (
     shutdown_pool,
 )
 from repro.restructured.netengine import (
+    _DEADLINE_GRACE,
     FrameError,
     HostSpec,
+    _DaemonLink,
+    _FrameDecoder,
+    _TimerWheel,
+    arm_heartbeat_deadline,
     recv_frame,
     send_frame,
 )
@@ -162,6 +170,214 @@ class TestParseHosts:
     def test_rejects_bad_entries(self, bad):
         with pytest.raises(ValueError):
             parse_hosts(bad)
+
+
+# ----------------------------------------------------------------------
+# the reactor's building blocks
+# ----------------------------------------------------------------------
+def _frame_bytes(kind, data):
+    body = pickle.dumps((kind, data), protocol=pickle.HIGHEST_PROTOCOL)
+    return struct.pack("!4sI", b"RPRO", len(body)) + body
+
+
+class TestFrameDecoder:
+    def test_two_frames_in_one_feed(self):
+        wire = _frame_bytes("heartbeat", {"pid": 1}) + _frame_bytes(
+            "result", {"key": (2, 0)}
+        )
+        decoder = _FrameDecoder()
+        frames = decoder.feed(wire)
+        assert [f[0] for f in frames] == ["heartbeat", "result"]
+        assert frames[1][1]["key"] == (2, 0)
+        assert frames[0][2] == len(_frame_bytes("heartbeat", {"pid": 1}))
+        assert not decoder.mid_frame
+
+    def test_byte_by_byte_reassembly(self):
+        wire = _frame_bytes("result", {"key": (3, 1), "blob": np.arange(50.0)})
+        decoder = _FrameDecoder()
+        frames = []
+        for i in range(len(wire)):
+            frames.extend(decoder.feed(wire[i : i + 1]))
+            if i < len(wire) - 1:
+                assert decoder.mid_frame  # EOF here would truncate
+        (frame,) = frames
+        kind, data, nbytes, _ = frame
+        assert kind == "result"
+        assert np.array_equal(data["blob"], np.arange(50.0))
+        assert nbytes == len(wire)
+        assert not decoder.mid_frame
+
+    def test_bad_magic_raises(self):
+        decoder = _FrameDecoder()
+        with pytest.raises(FrameError, match="magic"):
+            decoder.feed(b"HTTP/1.1")
+
+    def test_oversize_frame_rejected(self):
+        decoder = _FrameDecoder()
+        with pytest.raises(FrameError, match="cap"):
+            decoder.feed(struct.pack("!4sI", b"RPRO", (1 << 30) + 1))
+
+    def test_describe_partial_names_the_break_point(self):
+        decoder = _FrameDecoder()
+        decoder.feed(struct.pack("!4sI", b"RPRO", 1000) + b"x" * 10)
+        assert decoder.mid_frame
+        assert "10/1000 body bytes" in decoder.describe_partial()
+
+
+class TestTimerWheel:
+    def test_fires_in_due_order_under_injected_clock(self):
+        clock = {"t": 0.0}
+        wheel = _TimerWheel(clock=lambda: clock["t"])
+        fired = []
+        wheel.schedule(2.0, lambda: fired.append("late"))
+        wheel.schedule(1.0, lambda: fired.append("early"))
+        assert wheel.next_timeout() == pytest.approx(1.0)
+        assert wheel.fire_due() == 0
+        clock["t"] = 1.5
+        assert wheel.fire_due() == 1
+        assert fired == ["early"]
+        clock["t"] = 2.5
+        wheel.fire_due()
+        assert fired == ["early", "late"]
+        assert len(wheel) == 0
+        assert wheel.next_timeout() is None
+
+    def test_equal_deadlines_fire_in_schedule_order(self):
+        clock = {"t": 0.0}
+        wheel = _TimerWheel(clock=lambda: clock["t"])
+        fired = []
+        for name in ("a", "b", "c"):
+            wheel.schedule(1.0, lambda name=name: fired.append(name))
+        clock["t"] = 1.0
+        wheel.fire_due()
+        assert fired == ["a", "b", "c"]
+
+
+class TestHeartbeatDeadline:
+    """Satellite of the reactor rewrite: heartbeat-silence detection is
+    now a timer on the wheel reading ``link.last_frame`` from the same
+    thread that writes it — assert its conviction logic with an
+    injected clock, no sockets and no wall time involved."""
+
+    def _link(self, clock):
+        link = _DaemonLink("d0", spawned=True)
+        link.alive = True
+        link.last_frame = clock["t"]
+        return link
+
+    def test_convicts_silent_link_with_jobs_in_flight(self):
+        clock = {"t": 0.0}
+        wheel = _TimerWheel(clock=lambda: clock["t"])
+        link = self._link(clock)
+        link.inflight[(2, 0)] = object()
+        convicted = []
+        arm_heartbeat_deadline(wheel, link, 1.0, convicted.append)
+        clock["t"] = 1.0 + 2 * _DEADLINE_GRACE
+        wheel.fire_due()
+        assert convicted == [link]
+
+    def test_frames_postpone_the_deadline(self):
+        clock = {"t": 0.0}
+        wheel = _TimerWheel(clock=lambda: clock["t"])
+        link = self._link(clock)
+        link.inflight[(2, 0)] = object()
+        convicted = []
+        arm_heartbeat_deadline(wheel, link, 1.0, convicted.append)
+        # a heartbeat lands just before the deadline: the watch re-arms
+        # at last_frame + timeout instead of convicting
+        clock["t"] = 0.9
+        link.last_frame = 0.9
+        clock["t"] = 1.0 + 2 * _DEADLINE_GRACE
+        wheel.fire_due()
+        assert convicted == []
+        clock["t"] = 1.9 + 2 * _DEADLINE_GRACE
+        wheel.fire_due()
+        assert convicted == [link]
+
+    def test_idle_silence_is_not_a_hang(self):
+        clock = {"t": 0.0}
+        wheel = _TimerWheel(clock=lambda: clock["t"])
+        link = self._link(clock)  # nothing in flight: owes no result
+        convicted = []
+        arm_heartbeat_deadline(wheel, link, 1.0, convicted.append)
+        clock["t"] = 10.0
+        wheel.fire_due()
+        assert convicted == []
+        assert len(wheel) == 1  # still watching, re-armed
+
+    def test_stale_epoch_watch_is_void(self):
+        clock = {"t": 0.0}
+        wheel = _TimerWheel(clock=lambda: clock["t"])
+        link = self._link(clock)
+        link.inflight[(2, 0)] = object()
+        convicted = []
+        arm_heartbeat_deadline(wheel, link, 1.0, convicted.append)
+        link.epoch += 1  # the connection was replaced: old watch is void
+        clock["t"] = 5.0
+        wheel.fire_due()
+        assert convicted == []
+        assert len(wheel) == 0  # and it does not re-arm
+
+
+class TestReactorInvariants:
+    def test_no_sleep_outside_worker_daemon(self):
+        """The dispatch loop never sleeps: every ``time.sleep`` in the
+        module belongs to the daemon side (fault injection and drain),
+        none to the master's reactor."""
+        import ast
+        import inspect
+
+        from repro.restructured import netengine
+
+        sleeps = []
+
+        class Visitor(ast.NodeVisitor):
+            def __init__(self):
+                self.stack = []
+
+            def visit_ClassDef(self, node):
+                self.stack.append(node.name)
+                self.generic_visit(node)
+                self.stack.pop()
+
+            def visit_Call(self, node):
+                f = node.func
+                if (
+                    isinstance(f, ast.Attribute)
+                    and f.attr == "sleep"
+                    and isinstance(f.value, ast.Name)
+                    and f.value.id == "time"
+                ):
+                    sleeps.append(tuple(self.stack))
+                self.generic_visit(node)
+
+        Visitor().visit(ast.parse(inspect.getsource(netengine)))
+        assert sleeps, "expected the daemon's fault-injection sleeps"
+        assert all(s and s[0] == "WorkerDaemon" for s in sleeps), (
+            f"time.sleep outside WorkerDaemon: {sleeps}"
+        )
+
+    def test_master_adds_no_threads(self, pickle_combined):
+        """One selector, zero reader threads: a socket run leaves the
+        master's thread count exactly where it found it."""
+        samples = []
+        stop = threading.Event()
+
+        def sample():
+            while not stop.wait(0.02):
+                samples.append(threading.active_count())
+
+        before = threading.active_count()
+        sampler = threading.Thread(target=sample, daemon=True)
+        sampler.start()
+        try:
+            result = _run(engine="socket")
+        finally:
+            stop.set()
+            sampler.join(timeout=5.0)
+        assert np.array_equal(result.combined, pickle_combined)
+        assert samples
+        assert max(samples) <= before + 1  # + the sampler itself
 
 
 # ----------------------------------------------------------------------
@@ -342,6 +558,122 @@ class TestChaos:
         assert analysis.recovery_overhead_seconds > 0
         # one fault killed the daemon (reconnect), one did not
         assert analysis.n_reconnects == result.reconnects == 1
+
+
+class TestRetryNoHeadOfLine:
+    def test_backoff_on_one_link_does_not_stall_another(self, pickle_combined):
+        """The head-of-line regression: a grid backing off after a fault
+        must not freeze completion handling for healthy daemons.  The
+        thread-per-link engine slept the full retry delay on its only
+        dispatch thread; the reactor parks the grid on a timer and keeps
+        serving every other link's frames."""
+        from repro.resilience import RetryPolicy
+
+        recorder = TraceRecorder()
+        result = _run(
+            engine="socket",
+            faults="raise@2,0",
+            retry=RetryPolicy(
+                backoff_seconds=1.5, backoff_factor=1.0, jitter=0.0
+            ),
+            trace=recorder,
+        )
+        assert np.array_equal(result.combined, pickle_combined)
+        assert result.faults == 1
+        events = recorder.events()
+        fault = next(e for e in events if e.kind == "fault")
+        retry = next(e for e in events if e.kind == "retry")
+        assert retry.data["backoff_seconds"] == pytest.approx(1.5)
+        assert retry.t - fault.t >= 1.4  # the full backoff elapsed...
+        # ...and the healthy daemon's results kept landing *during* it
+        during = [
+            e
+            for e in events
+            if e.kind == "net_recv"
+            and e.data.get("frame_kind") == "result"
+            and e.key != (2, 0)
+            and fault.t < e.t < retry.t
+        ]
+        assert during, (
+            "no result was processed during the backoff window: "
+            "the retry stalled healthy links"
+        )
+        analysis = TraceAnalysis.from_recorder(recorder)
+        assert analysis.retry_backoff_seconds == pytest.approx(1.5)
+        assert any("backoff" in line for line in analysis.report_lines())
+
+
+class TestDaemonDrain:
+    def test_stop_drains_inflight_jobs(self, local_daemon):
+        """A ``stop`` frame is a clean shutdown: a job still computing
+        gets drained — its result frame arrives before the connection
+        closes — instead of being silently dropped mid-compute."""
+        from repro.resilience import FaultPlan
+        from repro.restructured.worker import SubsolveJobSpec
+
+        sock = socket.create_connection(
+            ("127.0.0.1", local_daemon.port), timeout=10.0
+        )
+        sock.settimeout(10.0)
+        try:
+            kind, _, _, _ = recv_frame(sock)
+            assert kind == "hello"
+            spec = SubsolveJobSpec(
+                problem_name="rotating-cone", root=2, l=2, m=0, tol=TOL
+            )
+            # the hang wedges the job's thread for 0.5s *before* it
+            # computes: the stop frame overtakes it mid-sleep
+            plan = FaultPlan.parse("hang@2,0:seconds=0.5")
+            send_frame(sock, "job", {
+                "spec": spec, "plan": plan, "attempt": 1,
+                "use_cache": True, "lease": None,
+            })
+            send_frame(sock, "stop", {})
+            result = None
+            while result is None:
+                frame = recv_frame(sock)
+                assert frame is not None, (
+                    "connection closed before the in-flight job's result"
+                )
+                kind, data, _, _ = frame
+                if kind == "result":
+                    result = data
+            assert tuple(result["key"]) == (2, 0)
+            assert result["attempt"] == 1
+        finally:
+            sock.close()
+        deadline = time.monotonic() + 5.0
+        while local_daemon.jobs_served != 1 and time.monotonic() < deadline:
+            time.sleep(0.01)
+        assert local_daemon.jobs_served == 1
+
+
+@pytest.mark.slow
+class TestManyLinks:
+    def test_32_daemons_one_dispatch_thread(self, pickle_combined):
+        """The service-scale claim: one master holds 32 concurrent
+        daemon links through one selector — thread count stays O(1),
+        results stay bitwise identical."""
+        samples = []
+        stop = threading.Event()
+
+        def sample():
+            while not stop.wait(0.05):
+                samples.append(threading.active_count())
+
+        before = threading.active_count()
+        sampler = threading.Thread(target=sample, daemon=True)
+        sampler.start()
+        try:
+            result = _run(engine="socket", hosts="localhost:32")
+        finally:
+            stop.set()
+            sampler.join(timeout=5.0)
+        assert result.daemons == 32
+        assert np.array_equal(result.combined, pickle_combined)
+        assert result.faults == 0
+        assert samples
+        assert max(samples) <= before + 1  # + the sampler itself
 
 
 # ----------------------------------------------------------------------

@@ -113,6 +113,22 @@ class TestRecovery:
         assert analysis.replay_compute_seconds == pytest.approx(1.5)
         assert analysis.recovery_overhead_seconds == pytest.approx(3.5)
 
+    def test_retry_backoff_seconds_sums_parked_time(self):
+        rec = self._faulted_timeline()
+        # the reactor engine stamps each retry with the delay its grid
+        # spent parked on the timer wheel
+        rec.record(
+            "retry", key=(2, 0), attempt=2, t=5.0, backoff_seconds=0.4
+        )
+        rec.record(
+            "retry", key=(2, 0), attempt=3, t=6.0, backoff_seconds=0.8
+        )
+        analysis = TraceAnalysis(rec.events())
+        assert analysis.retry_backoff_seconds == pytest.approx(1.2)
+        # retries without the stamp (the fork pool's) contribute zero
+        assert analysis.n_retries == 3
+        assert any("backoff" in line for line in analysis.report_lines())
+
     def test_fallback_counts_as_replay(self):
         rec = TraceRecorder(clock=FakeClock(0.0))
         rec.record("fallback", key=(2, 2), attempt=1, t=1.0)
